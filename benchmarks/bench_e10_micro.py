@@ -1,0 +1,40 @@
+"""E10 — format micro-benchmarks: the asymmetry lazy loading exploits."""
+
+import numpy as np
+
+from repro.bench.harness import run_e10
+from repro.bench.workload import shared_demo_repo
+from repro.mseed import steim
+from repro.mseed.files import read_file, scan_file_headers
+
+
+def test_e10_header_scan(benchmark):
+    _root, manifest = shared_demo_repo()
+    path = manifest.entries[0].path
+    headers = benchmark(lambda: scan_file_headers(path))
+    assert len(headers) == manifest.entries[0].n_records
+    table = run_e10()
+    print("\n" + table.render())
+
+
+def test_e10_full_decode(benchmark):
+    _root, manifest = shared_demo_repo()
+    path = manifest.entries[0].path
+    records = benchmark(lambda: read_file(path))
+    assert sum(len(r.samples) for r in records) == \
+        manifest.entries[0].n_samples
+
+
+def test_e10_steim2_decode(benchmark):
+    rng = np.random.default_rng(17)
+    wave = np.cumsum(rng.integers(-60, 60, 100_000)).astype(np.int32)
+    payload, count = steim.encode_steim2(wave, 20_000)
+    decoded = benchmark(lambda: steim.decode_steim2(payload, count))
+    assert np.array_equal(decoded, wave[:count])
+
+
+def test_e10_steim2_encode(benchmark):
+    rng = np.random.default_rng(18)
+    wave = np.cumsum(rng.integers(-60, 60, 20_000)).astype(np.int32)
+    payload, count = benchmark(lambda: steim.encode_steim2(wave, 10_000))
+    assert count == len(wave)

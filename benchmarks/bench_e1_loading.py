@@ -1,0 +1,30 @@
+"""E1 — initial loading and time-to-first-answer across repository sizes.
+
+Reproduces the demo's headline comparison (§4 items 1 and 3): lazy ETL's
+metadata-only initial load versus eager ETL's full load versus external
+tables, at three repository scales.
+"""
+
+from repro.bench.harness import run_e1
+from repro.bench.workload import SCALES, build_scaled_repo
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e1_initial_loading_table(benchmark):
+    """The full E1 sweep; the benchmarked unit is the lazy initial load."""
+    root, _manifest = build_scaled_repo(SCALES["M"])
+
+    def lazy_load():
+        return SeismicWarehouse(root, mode="lazy")
+
+    benchmark.pedantic(lazy_load, rounds=3, iterations=1)
+    table = run_e1()
+    print("\n" + table.render())
+
+
+def test_e1_eager_load_baseline(benchmark):
+    """The eager counterpart on the same scale point (for the ratio)."""
+    root, _manifest = build_scaled_repo(SCALES["M"])
+    benchmark.pedantic(
+        lambda: SeismicWarehouse(root, mode="eager"), rounds=1, iterations=1
+    )

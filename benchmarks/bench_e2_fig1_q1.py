@@ -1,0 +1,23 @@
+"""E2 — Figure 1, query 1: the 2-second STA window at ISK.BHE."""
+
+from repro.bench.harness import run_e2
+from repro.seismology.queries import fig1_query1
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e2_q1_lazy_cold(benchmark, demo_repo_path):
+    def cold_query():
+        wh = SeismicWarehouse(demo_repo_path, mode="lazy")
+        return wh.query(fig1_query1())
+
+    result = benchmark.pedantic(cold_query, rounds=3, iterations=1)
+    assert result.row_count == 1
+    table = run_e2()
+    print("\n" + table.render())
+
+
+def test_e2_q1_lazy_warm(benchmark, demo_repo_path):
+    wh = SeismicWarehouse(demo_repo_path, mode="lazy")
+    wh.query(fig1_query1())
+    result = benchmark(lambda: wh.query(fig1_query1()))
+    assert result.row_count == 1

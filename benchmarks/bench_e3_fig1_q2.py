@@ -1,0 +1,22 @@
+"""E3 — Figure 1, query 2: min/max per NL station on channel BHZ."""
+
+from repro.bench.harness import run_e3
+from repro.seismology.queries import fig1_query2
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e3_q2_lazy_cold(benchmark, demo_repo_path):
+    def cold_query():
+        wh = SeismicWarehouse(demo_repo_path, mode="lazy")
+        return wh.query(fig1_query2())
+
+    result = benchmark.pedantic(cold_query, rounds=2, iterations=1)
+    assert result.row_count >= 1
+    table = run_e3()
+    print("\n" + table.render())
+
+
+def test_e3_q2_eager_postload(benchmark, demo_repo_path):
+    wh = SeismicWarehouse(demo_repo_path, mode="eager")
+    result = benchmark(lambda: wh.query(fig1_query2()))
+    assert result.row_count >= 1

@@ -1,0 +1,15 @@
+"""E4 — storage footprint: the '10x when loaded into a database' claim."""
+
+from repro.bench.harness import run_e4
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e4_storage_table(benchmark, demo_repo_path):
+    """Benchmarked unit: computing the eager warehouse's resident size."""
+    wh = SeismicWarehouse(demo_repo_path, mode="eager")
+    size = benchmark(wh.warehouse_bytes)
+    repo = wh.repository_bytes()
+    # The reproduction target is the *shape*: several-fold blow-up.
+    assert size > 5 * repo
+    table = run_e4()
+    print("\n" + table.render())

@@ -1,0 +1,22 @@
+"""E5 — extraction-cache behaviour under budget pressure and policies."""
+
+from repro.bench.harness import run_e5
+from repro.bench.workload import shared_demo_repo, stream_window_queries
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e5_cache_table(benchmark):
+    root, manifest = shared_demo_repo()
+    workload = stream_window_queries(manifest, 12, seed=21)
+    wh = SeismicWarehouse(root, mode="lazy", enable_recycler=False)
+    for sql in workload:
+        wh.query(sql)  # warm pass
+
+    def warm_pass():
+        for sql in workload:
+            wh.query(sql)
+
+    benchmark.pedantic(warm_pass, rounds=3, iterations=1)
+    assert wh.cache.stats.hit_rate > 0.5
+    table = run_e5(queries=16)
+    print("\n" + table.render())

@@ -1,0 +1,10 @@
+"""E6 — refresh cost after repository updates: lazy vs eager."""
+
+from repro.bench.harness import run_e6
+
+
+def test_e6_refresh_table(benchmark):
+    table = benchmark.pedantic(lambda: run_e6(modified_files=4),
+                               rounds=1, iterations=1)
+    print("\n" + table.render())
+    assert len(table.rows) == 3

@@ -1,0 +1,11 @@
+"""E7 — cumulative-cost crossover between lazy and eager loading."""
+
+from repro.bench.harness import run_e7
+
+
+def test_e7_crossover_table(benchmark):
+    table = benchmark.pedantic(run_e7, rounds=1, iterations=1)
+    print("\n" + table.render())
+    # Lazy must lead at k=1 (time-to-first-answer is its whole point).
+    first = table.rows[0]
+    assert first[-1] == "lazy"

@@ -1,0 +1,20 @@
+"""E8 — the analytical query suite across all ingestion strategies."""
+
+from repro.bench.harness import run_e8
+from repro.seismology.queries import analytical_suite
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e8_suite_table(benchmark, demo_repo_path):
+    wh = SeismicWarehouse(demo_repo_path, mode="lazy")
+    suite = analytical_suite()
+
+    def run_suite():
+        for spec in suite:
+            wh.query(spec.sql)
+
+    run_suite()  # cold pass outside the measurement
+    benchmark.pedantic(run_suite, rounds=2, iterations=1)
+    table = run_e8()
+    print("\n" + table.render())
+    assert len(table.rows) == len(suite)

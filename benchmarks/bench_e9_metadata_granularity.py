@@ -1,0 +1,18 @@
+"""E9 — ablation: metadata granularity (filename / file / record)."""
+
+from repro.bench.harness import run_e9
+from repro.etl.metadata import Granularity
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e9_granularity_table(benchmark, demo_repo_path):
+    benchmark.pedantic(
+        lambda: SeismicWarehouse(demo_repo_path, mode="lazy",
+                                 granularity=Granularity.FILENAME),
+        rounds=3, iterations=1,
+    )
+    table = run_e9()
+    print("\n" + table.render())
+    # Extraction selectivity must improve with finer granularity.
+    extracted = [int(row[4]) for row in table.rows]
+    assert extracted[2] <= extracted[1] <= extracted[0]

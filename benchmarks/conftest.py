@@ -1,0 +1,16 @@
+"""Benchmark session configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The experiment benches print paper-style tables; keep them visible.
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture(scope="session")
+def demo_repo_path():
+    from repro.bench.workload import shared_demo_repo
+
+    root, _manifest = shared_demo_repo()
+    return root

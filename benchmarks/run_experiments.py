@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Regenerate every experiment table and (optionally) EXPERIMENTS.md.
+
+Usage:
+    python benchmarks/run_experiments.py            # print all tables
+    python benchmarks/run_experiments.py E1 E4      # a subset
+    python benchmarks/run_experiments.py --markdown EXPERIMENTS_MEASURED.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+
+from repro.bench.harness import ALL_EXPERIMENTS
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write the tables as markdown")
+    args = parser.parse_args()
+
+    wanted = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    tables = []
+    for eid in wanted:
+        started = time.perf_counter()
+        table = ALL_EXPERIMENTS[eid]()
+        elapsed = time.perf_counter() - started
+        print(table.render())
+        print(f"  (experiment ran in {elapsed:.1f} s)\n")
+        tables.append(table)
+
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write("# Measured experiment tables\n\n")
+            handle.write(
+                f"Environment: Python {platform.python_version()} on "
+                f"{platform.machine()}; single process, warm filesystem "
+                "cache.\n\n"
+            )
+            for table in tables:
+                handle.write(table.markdown())
+                handle.write("\n")
+        print(f"markdown written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Hunting interesting seismic events with STA/LTA (§4).
+
+Synthesises a repository with a known earthquake catalogue, opens a lazy
+warehouse, and runs the classic STA/LTA trigger over selected streams —
+fetching waveform windows through ordinary dataview queries, so only the
+files of the inspected streams are ever extracted.  Detections are
+compared against the injected ground truth.
+
+Run:  python examples/event_hunting.py
+"""
+
+import tempfile
+
+from repro import SeismicWarehouse, build_repository, hunt_events
+from repro.mseed.inventory import find_station
+from repro.mseed.synthesize import RepositorySpec
+from repro.util.timefmt import format_iso8601
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="lazyetl-hunt-")
+    spec = RepositorySpec(files_per_stream=3, n_events=4)
+    manifest = build_repository(root, spec)
+    print(f"repository: {len(manifest.entries)} files; injected events:")
+    for event in manifest.events:
+        print(f"  #{event.event_id} M{event.magnitude:.1f} at "
+              f"{format_iso8601(event.origin_time_us)} "
+              f"({event.latitude:.1f}N, {event.longitude:.1f}E)")
+
+    warehouse = SeismicWarehouse(root, mode="lazy")
+    print(f"\nwarehouse ready ({warehouse.load_report.seconds * 1e3:.0f} ms, "
+          "metadata only). hunting on the vertical channels ...")
+
+    window = ("2010-01-12T22:00:00.000", "2010-01-12T22:30:00.000")
+    total = 0
+    for station_code in ("HGN", "DBN", "ISK", "APE"):
+        try:
+            station = find_station(station_code)
+        except KeyError:
+            continue
+        detections = hunt_events(
+            warehouse, station.code, "BHZ", window[0], window[1],
+            on_threshold=3.0, off_threshold=1.2,
+        )
+        touched = warehouse.files_extracted_by_last_query()
+        print(f"\n{station.network}.{station.code} BHZ "
+              f"({len(touched)} files extracted):")
+        if not detections:
+            print("  no triggers")
+        for detection in detections:
+            total += 1
+            arrivals = [
+                (abs(detection.onset_time_us - ev.arrival_time_us(station)),
+                 ev)
+                for ev in manifest.events
+            ]
+            distance, nearest = min(arrivals, key=lambda pair: pair[0])
+            match = (f"matches event #{nearest.event_id} "
+                     f"(+{distance / 1e6:.1f} s)"
+                     if distance < 10_000_000 else "unmatched")
+            print(f"  {detection.render()}  -> {match}")
+
+    cache = warehouse.cache
+    print(f"\n{total} detections; extraction cache holds {len(cache)} "
+          f"records ({cache.used_bytes / 1024:.0f} KiB), "
+          f"hit rate {cache.stats.hit_rate:.0%}")
+    print("only the hunted streams were ever extracted — the rest of the "
+          "repository was never read past its headers.")
+
+
+if __name__ == "__main__":
+    main()

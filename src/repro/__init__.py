@@ -1,0 +1,75 @@
+"""Lazy ETL for scientific data warehouses.
+
+A from-scratch reproduction of Kargın et al., *Lazy ETL in Action: ETL
+Technology Dates Scientific Data* (PVLDB 6(12), 2013) and its companion
+system paper (BIRTE 2012): a scientific data warehouse whose initial
+loading covers only metadata, with actual data extracted, transformed and
+loaded transparently at query time.
+
+Quickstart::
+
+    from repro import SeismicWarehouse, build_repository, fig1_query1
+
+    manifest = build_repository("/tmp/mseed-repo")
+    wh = SeismicWarehouse("/tmp/mseed-repo", mode="lazy")
+    print(wh.query(fig1_query1()).format())
+
+Packages:
+
+* :mod:`repro.mseed` — the mSEED file-format substrate (Steim codecs,
+  records, synthetic repositories);
+* :mod:`repro.db` — the columnar SQL engine (MonetDB stand-in) with
+  run-time plan rewriting and intermediate-result recycling;
+* :mod:`repro.etl` — the Lazy ETL core plus eager and external baselines;
+* :mod:`repro.seismology` — the demo application: schema, Figure-1
+  queries, STA/LTA event hunting, metadata browsing;
+* :mod:`repro.bench` — workload generators and the experiment harness.
+"""
+
+from repro.db import Database, Result
+from repro.etl import (
+    EagerETL,
+    ExternalTableETL,
+    ExtractionCache,
+    Granularity,
+    LazyETL,
+    MSeedAdapter,
+    MetadataSync,
+)
+from repro.mseed import (
+    Repository,
+    RepositorySpec,
+    SimulatedRemoteRepository,
+    build_repository,
+)
+from repro.seismology import (
+    SeismicWarehouse,
+    analytical_suite,
+    fig1_query1,
+    fig1_query2,
+    hunt_events,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Result",
+    "LazyETL",
+    "EagerETL",
+    "ExternalTableETL",
+    "ExtractionCache",
+    "Granularity",
+    "MSeedAdapter",
+    "MetadataSync",
+    "Repository",
+    "RepositorySpec",
+    "SimulatedRemoteRepository",
+    "build_repository",
+    "SeismicWarehouse",
+    "analytical_suite",
+    "fig1_query1",
+    "fig1_query2",
+    "hunt_events",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Benchmark support: workload generation, experiment harness, reporting.
+
+Each experiment Ei from DESIGN.md §4 has a ``run_eN`` function in
+:mod:`repro.bench.harness` that builds its workload, measures the three
+ingestion strategies and returns an :class:`~repro.bench.reporting.ExperimentTable`
+whose rows mirror what the paper reports.  The pytest benches under
+``benchmarks/`` and the ``EXPERIMENTS.md`` generator both call these.
+"""
+
+from repro.bench.reporting import ExperimentTable
+from repro.bench.workload import (
+    RepoScale,
+    SCALES,
+    build_scaled_repo,
+    shared_demo_repo,
+    stream_window_queries,
+)
+from repro.bench import harness
+
+__all__ = [
+    "ExperimentTable",
+    "RepoScale",
+    "SCALES",
+    "build_scaled_repo",
+    "shared_demo_repo",
+    "stream_window_queries",
+    "harness",
+]

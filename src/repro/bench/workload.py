@@ -1,0 +1,131 @@
+"""Workload generation for the experiments.
+
+Repositories are generated once per (scale, seed) into a module-level
+registry of temporary directories, so one pytest session shares them
+across benches instead of re-synthesising waveforms per test.
+"""
+
+from __future__ import annotations
+
+import atexit
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mseed.inventory import DEFAULT_INVENTORY
+from repro.mseed.synthesize import (
+    RepositoryManifest,
+    RepositorySpec,
+    build_repository,
+)
+from repro.util.timefmt import MICROS_PER_SECOND, format_iso8601
+
+
+@dataclass(frozen=True)
+class RepoScale:
+    """A repository size point for the loading sweep (E1)."""
+
+    name: str
+    n_stations: int
+    channels: tuple[str, ...]
+    files_per_stream: int
+    file_span_minutes: int
+
+    @property
+    def n_files(self) -> int:
+        return self.n_stations * len(self.channels) * self.files_per_stream
+
+
+SCALES: dict[str, RepoScale] = {
+    "S": RepoScale("S", 3, ("BHZ",), 1, 5),
+    "M": RepoScale("M", 6, ("BHE", "BHN", "BHZ"), 1, 5),
+    "L": RepoScale("L", 9, ("BHE", "BHN", "BHZ"), 2, 5),
+}
+
+_REPO_REGISTRY: dict[tuple, tuple[str, RepositoryManifest]] = {}
+
+
+def _cleanup_registry() -> None:  # pragma: no cover - process teardown
+    for path, _manifest in _REPO_REGISTRY.values():
+        shutil.rmtree(path, ignore_errors=True)
+
+
+atexit.register(_cleanup_registry)
+
+
+def build_scaled_repo(scale: RepoScale,
+                      *, seed: int = 20130826) -> tuple[str, RepositoryManifest]:
+    """Build (or reuse) the repository for a scale point."""
+    key = (scale, seed)
+    if key not in _REPO_REGISTRY:
+        root = tempfile.mkdtemp(prefix=f"lazyetl-{scale.name}-")
+        spec = RepositorySpec(
+            stations=DEFAULT_INVENTORY[: scale.n_stations],
+            channel_codes=scale.channels,
+            files_per_stream=scale.files_per_stream,
+            file_span_minutes=scale.file_span_minutes,
+        )
+        manifest = build_repository(root, spec, seed=seed)
+        _REPO_REGISTRY[key] = (root, manifest)
+    return _REPO_REGISTRY[key]
+
+
+def shared_demo_repo(*, seed: int = 20130826) -> tuple[str, RepositoryManifest]:
+    """The default paper-day repository shared by E2/E3/E5/E8.
+
+    Nine stations, three broadband channels, two 10-minute windows from
+    2010-01-12T22:00 — large enough that full scans visibly hurt, small
+    enough for a test session.
+    """
+    key = ("demo", seed)
+    if key not in _REPO_REGISTRY:
+        root = tempfile.mkdtemp(prefix="lazyetl-demo-")
+        manifest = build_repository(root, RepositorySpec(files_per_stream=2),
+                                    seed=seed)
+        _REPO_REGISTRY[key] = (root, manifest)
+    return _REPO_REGISTRY[key]
+
+
+def stream_window_queries(
+    manifest: RepositoryManifest,
+    count: int,
+    *,
+    window_seconds: float = 30.0,
+    seed: int = 7,
+    view: str = "mseed.dataview",
+) -> list[str]:
+    """Random point queries, each over one stream and a short window.
+
+    The E5/E7 workloads: every query is selective (one station, one
+    channel, ``window_seconds`` of data), the kind of ad-hoc exploration
+    the paper argues lazy ETL serves best.
+    """
+    rng = np.random.default_rng(seed)
+    entries = manifest.entries
+    queries = []
+    for _ in range(count):
+        entry = entries[int(rng.integers(len(entries)))]
+        span = entry.end_time_us - entry.start_time_us
+        window_us = round(window_seconds * MICROS_PER_SECOND)
+        offset = int(rng.integers(max(span - window_us, 1)))
+        start = entry.start_time_us + offset
+        queries.append(
+            f"""SELECT AVG(D.sample_value), COUNT(*)
+FROM {view}
+WHERE F.station = '{entry.station}' AND F.channel = '{entry.channel}'
+AND D.sample_time >= '{format_iso8601(start)}'
+AND D.sample_time < '{format_iso8601(start + window_us)}'"""
+        )
+    return queries
+
+
+def full_stream_query(station: str, channel: str,
+                      view: str = "mseed.dataview") -> str:
+    """A query scanning one entire stream (used by the E7 crossover)."""
+    return (
+        f"SELECT MIN(D.sample_value), MAX(D.sample_value), COUNT(*) "
+        f"FROM {view} WHERE F.station = '{station}' "
+        f"AND F.channel = '{channel}'"
+    )

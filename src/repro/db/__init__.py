@@ -1,0 +1,34 @@
+"""A columnar, vectorised analytical SQL engine — the MonetDB stand-in.
+
+The paper implements Lazy ETL *inside* MonetDB, relying on four engine
+capabilities; this package provides all of them:
+
+* column-at-a-time execution over NumPy arrays with fully materialised
+  intermediates (:mod:`repro.db.column`, :mod:`repro.db.plan.physical`),
+* non-materialised views that expand into queries
+  (:mod:`repro.db.catalog`, the binder in :mod:`repro.db.plan.logical`),
+* plan introspection and **run-time plan rewriting** — the optimiser plants
+  a rewrite operator over lazily-bound tables; at execution it injects
+  per-file cache-fetch/extract operators (:mod:`repro.db.plan.optimizer`),
+* **intermediate result recycling** with an LRU byte budget
+  (:mod:`repro.db.exec.recycler`), the substrate of lazy loading.
+"""
+
+from repro.db.types import DataType
+from repro.db.column import Column
+from repro.db.table import Table, TableSchema, ColumnSpec
+from repro.db.catalog import Catalog, LazyTableBinding
+from repro.db.exec.engine import Database
+from repro.db.exec.result import Result
+
+__all__ = [
+    "DataType",
+    "Column",
+    "Table",
+    "TableSchema",
+    "ColumnSpec",
+    "Catalog",
+    "LazyTableBinding",
+    "Database",
+    "Result",
+]

@@ -1,0 +1,291 @@
+"""Catalog: schemas, tables, non-materialised views, lazy bindings.
+
+Two catalog concepts carry the paper's design:
+
+* **Views are never materialised** (§3.2 "lazy transformation"): a view
+  stores its SELECT AST and is expanded inline by the binder, so the
+  transformations it encodes run inside the query plan and benefit from
+  query optimisation.
+* **Lazy table bindings** (§3.1 "lazy extraction"): a base table may be
+  *virtual*, backed by a :class:`LazyTableBinding` that the ETL layer
+  registers.  The optimiser recognises such tables and plans run-time
+  extraction instead of scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.db.column import Column
+from repro.db.expr import ColumnRef, Star
+from repro.db.sql import ast
+from repro.db.table import Table, TableSchema
+from repro.errors import BindError, CatalogError
+
+DEFAULT_SCHEMA = "main"
+
+
+@runtime_checkable
+class LazyTableBinding(Protocol):
+    """What the engine needs from a lazily-bound (virtual) table.
+
+    Implementations live in :mod:`repro.etl.lazy`; the engine only relies
+    on this protocol, keeping the DB substrate application-agnostic.
+    """
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        """Columns joining the lazy table to its metadata table."""
+        ...
+
+    @property
+    def range_column(self) -> Optional[str]:
+        """Column whose predicates can prune extraction (sample_time)."""
+        ...
+
+    @property
+    def cache_epoch(self) -> int:
+        """Monotone counter; bumps whenever cached extraction state changes."""
+        ...
+
+    def fetch(
+        self,
+        keys: dict[str, np.ndarray],
+        needed: list[str],
+        time_bounds: tuple[Optional[int], Optional[int]],
+        trace: list[dict],
+    ) -> dict[str, Column]:
+        """Extract/transform/load the rows matching ``keys``.
+
+        ``trace`` receives one entry per injected operator (cache hit,
+        extraction, refresh) for plan introspection — demo items (5)-(7).
+        """
+        ...
+
+    def scan_all(self, needed: list[str], trace: list[dict]) -> dict[str, Column]:
+        """Worst case (§3.1): extract the entire repository."""
+        ...
+
+
+@dataclass
+class View:
+    """A non-materialised view."""
+
+    name: str
+    schema_name: str
+    select: ast.SelectStmt
+    sql_text: str
+    # (inner_alias, inner_column) -> output column name.  Lets queries use
+    # the paper's ``F.station`` syntax against the joined dataview.
+    alias_map: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.schema_name}.{self.name}"
+
+
+@dataclass
+class SchemaEntry:
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    views: dict[str, View] = field(default_factory=dict)
+
+
+class Catalog:
+    """All schema objects of one database."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, SchemaEntry] = {
+            DEFAULT_SCHEMA: SchemaEntry(DEFAULT_SCHEMA)
+        }
+        self._bindings: dict[str, LazyTableBinding] = {}
+
+    # -- schemas ---------------------------------------------------------------
+
+    def create_schema(self, name: str, *, if_not_exists: bool = False) -> None:
+        key = name.lower()
+        if key in self._schemas:
+            if if_not_exists:
+                return
+            raise CatalogError(f"schema {name!r} already exists")
+        self._schemas[key] = SchemaEntry(key)
+
+    def drop_schema(self, name: str, *, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key == DEFAULT_SCHEMA:
+            raise CatalogError("cannot drop the default schema")
+        if key not in self._schemas:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown schema {name!r}")
+        del self._schemas[key]
+
+    def schema_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    def _schema(self, name: str) -> SchemaEntry:
+        try:
+            return self._schemas[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown schema {name!r}") from None
+
+    # -- tables -----------------------------------------------------------------
+
+    @staticmethod
+    def split_name(parts: tuple[str, ...]) -> tuple[str, str]:
+        """Split a 1- or 2-part name into (schema, object)."""
+        if len(parts) == 1:
+            return DEFAULT_SCHEMA, parts[0].lower()
+        if len(parts) == 2:
+            return parts[0].lower(), parts[1].lower()
+        raise CatalogError(f"name {'.'.join(parts)!r} has too many parts")
+
+    def create_table(self, parts: tuple[str, ...], schema: TableSchema,
+                     *, if_not_exists: bool = False) -> Table:
+        schema_name, table_name = self.split_name(parts)
+        entry = self._schema(schema_name)
+        if table_name in entry.tables or table_name in entry.views:
+            if if_not_exists and table_name in entry.tables:
+                return entry.tables[table_name]
+            raise CatalogError(
+                f"object {schema_name}.{table_name} already exists"
+            )
+        table = Table(f"{schema_name}.{table_name}", schema)
+        entry.tables[table_name] = table
+        return table
+
+    def drop_table(self, parts: tuple[str, ...], *, if_exists: bool = False) -> None:
+        schema_name, table_name = self.split_name(parts)
+        entry = self._schema(schema_name)
+        if table_name not in entry.tables:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown table {schema_name}.{table_name}")
+        del entry.tables[table_name]
+        self._bindings.pop(f"{schema_name}.{table_name}", None)
+
+    def table(self, parts: tuple[str, ...]) -> Table:
+        schema_name, table_name = self.split_name(parts)
+        entry = self._schema(schema_name)
+        try:
+            return entry.tables[table_name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {schema_name}.{table_name}"
+            ) from None
+
+    def lookup(self, parts: tuple[str, ...]) -> Table | View:
+        """Resolve a name to a table or view."""
+        schema_name, obj_name = self.split_name(parts)
+        entry = self._schema(schema_name)
+        if obj_name in entry.tables:
+            return entry.tables[obj_name]
+        if obj_name in entry.views:
+            return entry.views[obj_name]
+        raise BindError(f"unknown table or view {schema_name}.{obj_name}")
+
+    def tables(self) -> list[Table]:
+        out: list[Table] = []
+        for entry in self._schemas.values():
+            out.extend(entry.tables.values())
+        return out
+
+    # -- views -------------------------------------------------------------------
+
+    def create_view(self, parts: tuple[str, ...], select: ast.SelectStmt,
+                    sql_text: str) -> View:
+        schema_name, view_name = self.split_name(parts)
+        entry = self._schema(schema_name)
+        if view_name in entry.views or view_name in entry.tables:
+            raise CatalogError(f"object {schema_name}.{view_name} already exists")
+        view = View(
+            name=view_name,
+            schema_name=schema_name,
+            select=select,
+            sql_text=sql_text,
+            alias_map=self._provenance(select),
+        )
+        entry.views[view_name] = view
+        return view
+
+    def drop_view(self, parts: tuple[str, ...], *, if_exists: bool = False) -> None:
+        schema_name, view_name = self.split_name(parts)
+        entry = self._schema(schema_name)
+        if view_name not in entry.views:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown view {schema_name}.{view_name}")
+        del entry.views[view_name]
+
+    def _provenance(self, select: ast.SelectStmt) -> dict[tuple[str, str], str]:
+        """Map the view's inner aliases to output names.
+
+        For a view ``SELECT F.station, ... FROM files AS F, ...`` the pair
+        ``('f', 'station')`` maps to output ``'station'``.  ``alias.*``
+        items are expanded against the catalog.  Queries over the view may
+        then reference ``F.station`` even though the view's output column
+        is plainly named ``station`` — exactly how the paper's Figure-1
+        queries address ``mseed.dataview``.
+        """
+        alias_tables: dict[str, Table] = {}
+        for item in select.from_items:
+            stack = [item]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, ast.JoinRef):
+                    stack.extend([node.left, node.right])
+                elif isinstance(node, ast.TableRef):
+                    alias = (node.alias or node.parts[-1]).lower()
+                    try:
+                        obj = self.lookup(node.parts)
+                    except (BindError, CatalogError):
+                        continue
+                    if isinstance(obj, Table):
+                        alias_tables[alias] = obj
+        mapping: dict[tuple[str, str], str] = {}
+        for item in select.items:
+            expr = item.expr
+            if isinstance(expr, Star):
+                if expr.qualifier is None:
+                    sources = alias_tables.items()
+                else:
+                    alias = expr.qualifier.lower()
+                    sources = [(alias, alias_tables[alias])] \
+                        if alias in alias_tables else []
+                for alias, table in sources:
+                    for spec in table.schema.columns:
+                        mapping.setdefault((alias, spec.name), spec.name)
+            elif isinstance(expr, ColumnRef) and len(expr.parts) == 2:
+                alias, column = expr.parts[0].lower(), expr.parts[1].lower()
+                out_name = (item.alias or column).lower()
+                mapping.setdefault((alias, column), out_name)
+        return mapping
+
+    # -- lazy bindings --------------------------------------------------------------
+
+    def bind_lazy(self, parts: tuple[str, ...], binding: LazyTableBinding) -> None:
+        """Mark a table as lazily extracted (registered by the ETL layer)."""
+        schema_name, table_name = self.split_name(parts)
+        self._schema(schema_name)  # validate
+        qualified = f"{schema_name}.{table_name}"
+        table = self.table(parts)  # must exist
+        self._bindings[qualified] = binding
+        # The optimiser reads the binding straight off the table object.
+        table.lazy_binding = binding  # type: ignore[attr-defined]
+
+    def unbind_lazy(self, parts: tuple[str, ...]) -> None:
+        schema_name, table_name = self.split_name(parts)
+        binding = self._bindings.pop(f"{schema_name}.{table_name}", None)
+        if binding is not None:
+            table = self.table(parts)
+            if getattr(table, "lazy_binding", None) is binding:
+                del table.lazy_binding  # type: ignore[attr-defined]
+
+    def lazy_binding(self, qualified_name: str) -> Optional[LazyTableBinding]:
+        return self._bindings.get(qualified_name)
+
+    def is_lazy(self, qualified_name: str) -> bool:
+        return qualified_name in self._bindings

@@ -1,0 +1,201 @@
+"""Typed, NumPy-backed columns with optional null masks.
+
+A :class:`Column` is immutable-by-convention: operators produce new
+columns.  ``valid`` is either ``None`` (all rows valid — the common case,
+kept cheap) or a boolean array where ``False`` marks NULL.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.db.types import DataType, numpy_dtype
+from repro.errors import ExecutionError
+
+
+class Column:
+    """One column of a (intermediate) result: dtype + values + null mask."""
+
+    __slots__ = ("dtype", "values", "valid")
+
+    def __init__(self, dtype: DataType, values: np.ndarray,
+                 valid: np.ndarray | None = None) -> None:
+        self.dtype = dtype
+        self.values = values
+        self.valid = valid
+        if valid is not None and len(valid) != len(values):
+            raise ExecutionError("null mask length does not match values")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, dtype: DataType, raw: Iterable) -> "Column":
+        """Build from a Python iterable; ``None`` entries become NULLs."""
+        items = list(raw)
+        has_null = any(v is None for v in items)
+        np_dtype = numpy_dtype(dtype)
+        if dtype == DataType.VARCHAR:
+            values = np.empty(len(items), dtype=object)
+            for i, v in enumerate(items):
+                values[i] = "" if v is None else str(v)
+        else:
+            fill = False if dtype == DataType.BOOLEAN else 0
+            values = np.array(
+                [fill if v is None else v for v in items], dtype=np_dtype
+            )
+        valid = None
+        if has_null:
+            valid = np.array([v is not None for v in items], dtype=bool)
+        return cls(dtype, values, valid)
+
+    @classmethod
+    def from_numpy(cls, dtype: DataType, array: np.ndarray,
+                   valid: np.ndarray | None = None) -> "Column":
+        """Wrap an existing array, coercing to the canonical physical dtype."""
+        target = numpy_dtype(dtype)
+        if dtype == DataType.VARCHAR:
+            if array.dtype != object:
+                array = array.astype(object)
+        elif array.dtype != target:
+            array = array.astype(target)
+        return cls(dtype, array, valid)
+
+    @classmethod
+    def constant(cls, dtype: DataType, value, length: int) -> "Column":
+        """A column repeating one value (used for literals and LEFT-join pads)."""
+        if value is None:
+            return cls.nulls(dtype, length)
+        if dtype == DataType.VARCHAR:
+            values = np.empty(length, dtype=object)
+            values[:] = str(value)
+        else:
+            values = np.full(length, value, dtype=numpy_dtype(dtype))
+        return cls(dtype, values)
+
+    @classmethod
+    def nulls(cls, dtype: DataType, length: int) -> "Column":
+        """An all-NULL column."""
+        if dtype == DataType.VARCHAR:
+            values = np.empty(length, dtype=object)
+            values[:] = ""
+        else:
+            fill = False if dtype == DataType.BOOLEAN else 0
+            values = np.full(length, fill, dtype=numpy_dtype(dtype))
+        return cls(dtype, values, np.zeros(length, dtype=bool))
+
+    # -- basics --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def has_nulls(self) -> bool:
+        return self.valid is not None and not bool(self.valid.all())
+
+    def validity(self) -> np.ndarray:
+        """A boolean validity array (materialises the all-valid case)."""
+        if self.valid is None:
+            return np.ones(len(self.values), dtype=bool)
+        return self.valid
+
+    def value_at(self, index: int):
+        """Python value at ``index`` (``None`` for NULL)."""
+        if self.valid is not None and not self.valid[index]:
+            return None
+        value = self.values[index]
+        if self.dtype == DataType.VARCHAR:
+            return str(value)
+        if self.dtype == DataType.BOOLEAN:
+            return bool(value)
+        if self.dtype == DataType.DOUBLE:
+            return float(value)
+        return int(value)
+
+    def to_pylist(self) -> list:
+        """The whole column as Python values."""
+        return [self.value_at(i) for i in range(len(self))]
+
+    # -- transformations ------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Gather rows by position."""
+        valid = None if self.valid is None else self.valid[indices]
+        return Column(self.dtype, self.values[indices], valid)
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Keep rows where ``mask`` is True."""
+        valid = None if self.valid is None else self.valid[mask]
+        return Column(self.dtype, self.values[mask], valid)
+
+    def slice(self, start: int, stop: int) -> "Column":
+        valid = None if self.valid is None else self.valid[start:stop]
+        return Column(self.dtype, self.values[start:stop], valid)
+
+    def with_nulls_at(self, invalid_mask: np.ndarray) -> "Column":
+        """Mark additional rows NULL (used by LEFT joins)."""
+        valid = self.validity() & ~invalid_mask
+        return Column(self.dtype, self.values, valid)
+
+    @staticmethod
+    def concat(parts: Sequence["Column"]) -> "Column":
+        """Concatenate columns of identical dtype."""
+        if not parts:
+            raise ExecutionError("cannot concatenate zero columns")
+        dtype = parts[0].dtype
+        if any(p.dtype != dtype for p in parts):
+            raise ExecutionError("concat of mismatched column types")
+        values = np.concatenate([p.values for p in parts])
+        if any(p.valid is not None for p in parts):
+            valid = np.concatenate([p.validity() for p in parts])
+        else:
+            valid = None
+        return Column(dtype, values, valid)
+
+    # -- introspection ---------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes (drives cache budgets and exp. E4).
+
+        VARCHAR columns count one 8-byte reference per row plus each
+        *distinct* string payload once — repeated values share one Python
+        object, matching what a dictionary-encoded column store stores.
+        """
+        if self.dtype == DataType.VARCHAR:
+            seen: set[int] = set()
+            payload = 0
+            for value in self.values:
+                key = id(value)
+                if key not in seen:
+                    seen.add(key)
+                    payload += len(value)
+            total = self.values.size * 8 + payload
+        else:
+            total = self.values.nbytes
+        if self.valid is not None:
+            total += self.valid.nbytes
+        return int(total)
+
+    def factorize(self) -> tuple[np.ndarray, int]:
+        """Map values to dense integer codes; NULL becomes code -1.
+
+        Codes follow sort order of the distinct values, which keeps ORDER BY
+        on dictionary codes consistent with value order.  Returns
+        ``(codes, n_distinct)``.
+        """
+        if self.dtype == DataType.VARCHAR:
+            # np.unique on object arrays works but is slower; go through str.
+            as_str = np.array([str(v) for v in self.values], dtype=object)
+            uniques, codes = np.unique(as_str.astype(str), return_inverse=True)
+        else:
+            uniques, codes = np.unique(self.values, return_inverse=True)
+        codes = codes.astype(np.int64)
+        if self.valid is not None:
+            codes[~self.valid] = -1
+        return codes, len(uniques)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        preview = ", ".join(str(self.value_at(i)) for i in range(min(5, len(self))))
+        suffix = ", ..." if len(self) > 5 else ""
+        return f"Column<{self.dtype}>[{preview}{suffix}] n={len(self)}"

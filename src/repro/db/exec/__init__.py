@@ -1,0 +1,11 @@
+"""Execution layer: engine facade, result sets, intermediate recycling.
+
+The engine itself is imported via ``repro.db.exec.engine`` (not re-exported
+here) to keep the package import graph acyclic: the physical operators
+depend on the recycler, and the engine depends on the physical operators.
+"""
+
+from repro.db.exec.recycler import Recycler, signature_of
+from repro.db.exec.result import Result
+
+__all__ = ["Recycler", "signature_of", "Result"]

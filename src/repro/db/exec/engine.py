@@ -1,0 +1,391 @@
+"""The Database facade: parse → bind → optimise → execute.
+
+This is the MonetDB stand-in the demo drives.  Besides running SQL it
+exposes the introspection surface the demo scenario needs:
+
+* :meth:`Database.explain` — compile-time plans before/after optimisation
+  plus the physical plan (demo items 4 and 6),
+* :attr:`Database.last_trace` — the operators injected at run time by the
+  rewriting operator (demo item 5),
+* :attr:`Database.recycler` — cache contents and update behaviour (7),
+* :attr:`Database.oplog` — the ordered operation log (8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.db import expr as ex
+from repro.db.catalog import Catalog, LazyTableBinding
+from repro.db.column import Column
+from repro.db.exec.recycler import Recycler
+from repro.db.exec.result import Result
+from repro.db.plan import explain as explain_mod
+from repro.db.plan.logical import LogicalNode, bind_select
+from repro.db.plan.optimizer import optimize
+from repro.db.plan.physical import (
+    Chunk,
+    ExecutionContext,
+    PhysicalNode,
+    build_physical,
+)
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_statement
+from repro.db.table import ColumnSpec, ForeignKeySpec, Table, TableSchema
+from repro.db.types import DataType, type_from_name
+from repro.errors import BindError, DatabaseError, ExecutionError, SQLError
+from repro.util.oplog import OperationLog
+
+
+@dataclass
+class QueryReport:
+    """Timings and counters for the most recent query."""
+
+    sql: str = ""
+    parse_s: float = 0.0
+    bind_s: float = 0.0
+    optimize_s: float = 0.0
+    execute_s: float = 0.0
+    rows_out: int = 0
+    rows_extracted: int = 0
+    operators_run: int = 0
+
+    @property
+    def total_s(self) -> float:
+        return self.parse_s + self.bind_s + self.optimize_s + self.execute_s
+
+
+class Database:
+    """An in-process analytical database with Lazy-ETL hooks."""
+
+    def __init__(
+        self,
+        *,
+        oplog: Optional[OperationLog] = None,
+        recycler_budget_bytes: int = 64 * 1024 * 1024,
+        recycler_policy: str = "lru",
+        enable_recycler: bool = True,
+        enable_lazy_rewrite: bool = True,
+        enable_pruning: bool = True,
+    ) -> None:
+        self.catalog = Catalog()
+        # Explicit None check: an empty OperationLog is falsy (len == 0).
+        self.oplog = oplog if oplog is not None else OperationLog()
+        self.recycler: Optional[Recycler] = (
+            Recycler(recycler_budget_bytes, recycler_policy)
+            if enable_recycler else None
+        )
+        self.enable_lazy_rewrite = enable_lazy_rewrite
+        self.enable_pruning = enable_pruning
+        self.last_trace: list[dict] = []
+        self.last_plan_logical: Optional[LogicalNode] = None
+        self.last_plan_optimized: Optional[LogicalNode] = None
+        self.last_plan_physical: Optional[PhysicalNode] = None
+        self.last_report = QueryReport()
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Run any statement; DDL/DML return a one-cell status result."""
+        stmt = parse_statement(sql)
+        if isinstance(stmt, ast.SelectStmt):
+            return self._run_select(stmt, sql)
+        if isinstance(stmt, ast.ExplainStmt):
+            text = self._explain_select(stmt.select)
+            return Result(["plan"],
+                          [Column.from_values(DataType.VARCHAR, [text])])
+        handler = {
+            ast.CreateTableStmt: self._create_table,
+            ast.CreateViewStmt: self._create_view,
+            ast.CreateSchemaStmt: self._create_schema,
+            ast.DropStmt: self._drop,
+            ast.InsertStmt: self._insert,
+            ast.DeleteStmt: self._delete,
+            ast.UpdateStmt: self._update,
+        }.get(type(stmt))
+        if handler is None:
+            raise SQLError(f"unsupported statement {type(stmt).__name__}")
+        message = handler(stmt)  # type: ignore[arg-type]
+        return Result(["status"],
+                      [Column.from_values(DataType.VARCHAR, [message])])
+
+    def query(self, sql: str) -> Result:
+        """Run a SELECT (raises on anything else)."""
+        stmt = parse_statement(sql)
+        if isinstance(stmt, ast.SelectStmt):
+            return self._run_select(stmt, sql)
+        raise SQLError("query() requires a SELECT statement")
+
+    def explain(self, sql: str) -> str:
+        """Compile-time plan report for a SELECT."""
+        stmt = parse_statement(sql)
+        if isinstance(stmt, ast.ExplainStmt):
+            stmt = stmt.select
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SQLError("explain() requires a SELECT statement")
+        return self._explain_select(stmt)
+
+    # -- SELECT path ------------------------------------------------------------
+
+    def _compile(self, stmt: ast.SelectStmt) -> tuple[LogicalNode, LogicalNode,
+                                                      PhysicalNode]:
+        naive = bind_select(self.catalog, stmt)
+        # Bind twice: optimisation mutates nodes, and we keep the pre-
+        # optimisation plan for EXPLAIN/demo display.
+        bound = bind_select(self.catalog, stmt)
+        optimized = optimize(
+            bound,
+            enable_lazy_rewrite=self.enable_lazy_rewrite,
+            enable_pruning=self.enable_pruning,
+        )
+        physical = build_physical(optimized, self.recycler)
+        return naive, optimized, physical
+
+    def _run_select(self, stmt: ast.SelectStmt, sql: str) -> Result:
+        report = QueryReport(sql=sql)
+        started = time.perf_counter()
+        naive, optimized, physical = self._compile(stmt)
+        report.bind_s = time.perf_counter() - started
+
+        self.last_plan_logical = naive
+        self.last_plan_optimized = optimized
+        self.last_plan_physical = physical
+
+        ctx = ExecutionContext(oplog=self.oplog, recycler=self.recycler)
+        self.oplog.record("query", "execute",
+                          sql=sql[:120].replace("\n", " "))
+        started = time.perf_counter()
+        chunk = physical.execute(ctx)
+        report.execute_s = time.perf_counter() - started
+        report.rows_out = chunk.length
+        report.rows_extracted = ctx.rows_extracted
+        report.operators_run = ctx.operators_run
+        self.last_trace = ctx.trace
+        self.last_report = report
+        self.oplog.record(
+            "query", "done",
+            rows=chunk.length,
+            seconds=round(report.execute_s, 4),
+            extracted=ctx.rows_extracted,
+        )
+        names = [c.name for c in optimized.output]
+        columns = [chunk.columns[c.cid] for c in optimized.output]
+        return Result(names, columns)
+
+    def _explain_select(self, stmt: ast.SelectStmt) -> str:
+        naive, optimized, physical = self._compile(stmt)
+        sections = [
+            "== logical plan (as bound) ==",
+            explain_mod.render_logical(naive),
+            "",
+            "== logical plan (optimised: metadata first, lazy rewrite points) ==",
+            explain_mod.render_logical(optimized),
+            "",
+            "== physical plan ==",
+            explain_mod.render_physical(physical),
+        ]
+        return "\n".join(sections)
+
+    def render_last_trace(self) -> str:
+        """The operators injected at run time by the last query (demo 5/6)."""
+        return explain_mod.render_trace(self.last_trace)
+
+    # -- DDL -----------------------------------------------------------------------
+
+    def _create_table(self, stmt: ast.CreateTableStmt) -> str:
+        specs = [
+            ColumnSpec(name=c.name.lower(), dtype=type_from_name(c.type_name),
+                       not_null=c.not_null)
+            for c in stmt.columns
+        ]
+        fks = []
+        for fk in stmt.foreign_keys:
+            schema_name, table_name = self.catalog.split_name(fk.ref_table)
+            fks.append(
+                ForeignKeySpec(
+                    columns=tuple(c.lower() for c in fk.columns),
+                    ref_table=f"{schema_name}.{table_name}",
+                    ref_columns=tuple(c.lower() for c in fk.ref_columns),
+                )
+            )
+        schema = TableSchema(
+            columns=specs,
+            primary_key=tuple(c.lower() for c in stmt.primary_key),
+            foreign_keys=fks,
+        )
+        self.catalog.create_table(stmt.name, schema,
+                                  if_not_exists=stmt.if_not_exists)
+        self.oplog.record("ddl", f"create table {'.'.join(stmt.name)}",
+                          columns=len(specs))
+        return f"table {'.'.join(stmt.name)} created"
+
+    def _create_view(self, stmt: ast.CreateViewStmt) -> str:
+        # Validate the view body by binding it now (against current catalog).
+        bind_select(self.catalog, stmt.select)
+        self.catalog.create_view(stmt.name, stmt.select, stmt.sql_text)
+        self.oplog.record("ddl", f"create view {'.'.join(stmt.name)}")
+        return f"view {'.'.join(stmt.name)} created"
+
+    def _create_schema(self, stmt: ast.CreateSchemaStmt) -> str:
+        self.catalog.create_schema(stmt.name, if_not_exists=stmt.if_not_exists)
+        self.oplog.record("ddl", f"create schema {stmt.name}")
+        return f"schema {stmt.name} created"
+
+    def _drop(self, stmt: ast.DropStmt) -> str:
+        if stmt.kind == "table":
+            self.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
+        elif stmt.kind == "view":
+            self.catalog.drop_view(stmt.name, if_exists=stmt.if_exists)
+        else:
+            self.catalog.drop_schema(stmt.name[0], if_exists=stmt.if_exists)
+        self.oplog.record("ddl", f"drop {stmt.kind} {'.'.join(stmt.name)}")
+        return f"{stmt.kind} {'.'.join(stmt.name)} dropped"
+
+    # -- DML -----------------------------------------------------------------------
+
+    def _eval_literal_row(self, exprs: Sequence[ex.Expr]) -> list:
+        from repro.db.plan.logical import Binder, _Scope
+
+        binder = Binder(self.catalog)
+        scope = _Scope([])
+        values = []
+        for expr in exprs:
+            bound = binder.bind_expr(expr, scope)
+            col = bound.eval({}, 1)
+            values.append(col.value_at(0))
+        return values
+
+    def _insert(self, stmt: ast.InsertStmt) -> str:
+        table = self.catalog.table(stmt.table)
+        target_cols = (
+            [c.lower() for c in stmt.columns]
+            if stmt.columns is not None
+            else table.schema.names
+        )
+        unknown = set(target_cols) - set(table.schema.names)
+        if unknown:
+            raise BindError(f"unknown insert columns {sorted(unknown)}")
+        rows = []
+        for row_exprs in stmt.rows:
+            if len(row_exprs) != len(target_cols):
+                raise ExecutionError("INSERT arity mismatch")
+            rows.append(self._eval_literal_row(row_exprs))
+        data: dict[str, list] = {name: [] for name in table.schema.names}
+        position = {name: i for i, name in enumerate(target_cols)}
+        for row in rows:
+            for name in table.schema.names:
+                if name in position:
+                    value = row[position[name]]
+                    spec = table.schema.spec(name)
+                    if value is not None:
+                        from repro.db.types import coerce_literal
+
+                        value = coerce_literal(value, spec.dtype)
+                    data[name].append(value)
+                else:
+                    data[name].append(None)
+        count = table.append_pydict(data)
+        self._invalidate_for(table)
+        self.oplog.record("dml", f"insert into {table.name}", rows=count)
+        return f"{count} rows inserted into {table.name}"
+
+    def bulk_insert(self, parts: tuple[str, ...],
+                    data: Mapping[str, "np.ndarray | Column | list"],
+                    *, enforce_keys: bool = False) -> int:
+        """Bulk load aligned columns (the eager ETL load path)."""
+        table = self.catalog.table(parts)
+        batch: dict[str, Column] = {}
+        for spec in table.schema.columns:
+            if spec.name not in data:
+                raise ExecutionError(f"bulk insert missing column {spec.name!r}")
+            value = data[spec.name]
+            if isinstance(value, Column):
+                batch[spec.name] = value
+            elif isinstance(value, np.ndarray):
+                batch[spec.name] = Column.from_numpy(spec.dtype, value)
+            else:
+                batch[spec.name] = Column.from_values(spec.dtype, value)
+        count = table.append_batch(batch, enforce_keys=enforce_keys)
+        self._invalidate_for(table)
+        self.oplog.record("load", f"bulk load {table.name}", rows=count)
+        return count
+
+    def _table_scope_frame(self, table: Table):
+        from repro.db.plan.logical import FromEntry, _Scope
+        from repro.db.plan.logical import OutCol
+
+        cols = []
+        frame = {}
+        for index, spec in enumerate(table.schema.columns, start=1):
+            cols.append(OutCol(cid=index, name=spec.name, dtype=spec.dtype))
+            frame[index] = table.column(spec.name)
+        scope = _Scope([FromEntry(alias=table.name.split(".")[-1], columns=cols)])
+        return scope, frame
+
+    def _delete(self, stmt: ast.DeleteStmt) -> str:
+        from repro.db.plan.logical import Binder
+
+        table = self.catalog.table(stmt.table)
+        if stmt.where is None:
+            removed = table.row_count
+            table.truncate()
+        else:
+            scope, frame = self._table_scope_frame(table)
+            predicate = Binder(self.catalog).bind_expr(stmt.where, scope)
+            mask = ex.predicate_mask(predicate.eval(frame, table.row_count))
+            removed = table.delete_where(mask)
+        self._invalidate_for(table)
+        self.oplog.record("dml", f"delete from {table.name}", rows=removed)
+        return f"{removed} rows deleted from {table.name}"
+
+    def _update(self, stmt: ast.UpdateStmt) -> str:
+        from repro.db.plan.logical import Binder
+
+        table = self.catalog.table(stmt.table)
+        scope, frame = self._table_scope_frame(table)
+        binder = Binder(self.catalog)
+        if stmt.where is None:
+            mask = np.ones(table.row_count, dtype=bool)
+        else:
+            predicate = binder.bind_expr(stmt.where, scope)
+            mask = ex.predicate_mask(predicate.eval(frame, table.row_count))
+        assignments: dict[str, Column] = {}
+        for name, expr in stmt.assignments:
+            spec = table.schema.spec(name.lower())
+            bound = binder.bind_expr(expr, scope)
+            value_col = bound.eval(frame, table.row_count)
+            if value_col.dtype != spec.dtype:
+                from repro.db.expr import cast_column
+
+                value_col = cast_column(value_col, spec.dtype)
+            assignments[name.lower()] = value_col
+        touched = table.update_rows(mask, assignments)
+        self._invalidate_for(table)
+        self.oplog.record("dml", f"update {table.name}", rows=touched)
+        return f"{touched} rows updated in {table.name}"
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def _invalidate_for(self, table: Table) -> None:
+        # Signatures embed table versions, so stale entries can never be
+        # hit again; drop them eagerly to release cache budget.
+        if self.recycler is not None:
+            self.recycler.invalidate_matching(f"scan({table.name}@")
+
+    def table(self, name: str) -> Table:
+        """Convenience: fetch a table by dotted name."""
+        return self.catalog.table(tuple(name.split(".")))
+
+    def register_lazy_table(self, name: str, binding: LazyTableBinding) -> None:
+        """Register an ETL binding making ``name`` a virtual, lazy table."""
+        self.catalog.bind_lazy(tuple(name.split(".")), binding)
+        self.oplog.record("etl", f"lazy binding registered for {name}",
+                          keys=",".join(binding.key_columns))
+
+    def warehouse_bytes(self) -> int:
+        """Total resident bytes across all base tables (experiment E4)."""
+        return sum(t.memory_bytes() for t in self.catalog.tables())

@@ -1,0 +1,14 @@
+"""Query planning: binder, logical plan, optimiser, physical operators."""
+
+from repro.db.plan.logical import LogicalNode, bind_select
+from repro.db.plan.optimizer import optimize
+from repro.db.plan.physical import build_physical, Chunk, ExecutionContext
+
+__all__ = [
+    "LogicalNode",
+    "bind_select",
+    "optimize",
+    "build_physical",
+    "Chunk",
+    "ExecutionContext",
+]

@@ -1,0 +1,754 @@
+"""Physical operators: column-at-a-time execution with materialised
+intermediates, mirroring MonetDB's execution model.
+
+Every operator's :meth:`~PhysicalNode.execute` returns a fully
+materialised :class:`Chunk`.  That choice is deliberate — the paper's lazy
+loading is "simply caching the result of a view definition (i.e. some of
+the intermediate results)" via the recycler, which requires materialised
+intermediates to exist.
+
+:class:`PLazyFetch` is the run-time rewriting operator of §3.1: executing
+it runs the metadata sub-plan, asks the lazy binding to inject cache-fetch
+or file-extract steps for exactly the qualifying files, then joins the
+extracted rows back to the metadata.  Its injected steps are appended to
+``ctx.trace`` so the demo can show "the files containing required actual
+data" and "the plans generated on the fly".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.db import expr as ex
+from repro.db.column import Column
+from repro.db.plan import logical as lg
+from repro.db.types import DataType
+from repro.errors import ExecutionError
+from repro.util.oplog import OperationLog
+
+if TYPE_CHECKING:  # imported lazily at run time to avoid an import cycle
+    from repro.db.exec.recycler import Recycler
+
+
+@dataclass
+class Chunk:
+    """A materialised intermediate: columns keyed by plan cid."""
+
+    columns: dict[int, Column]
+    length: int
+
+    @classmethod
+    def empty(cls, schema: list[lg.OutCol]) -> "Chunk":
+        return cls(
+            columns={c.cid: Column.from_values(c.dtype, []) for c in schema},
+            length=0,
+        )
+
+    def take(self, indices: np.ndarray) -> "Chunk":
+        return Chunk(
+            columns={cid: col.take(indices) for cid, col in self.columns.items()},
+            length=len(indices),
+        )
+
+    def filter(self, mask: np.ndarray) -> "Chunk":
+        kept = int(mask.sum())
+        return Chunk(
+            columns={cid: col.filter(mask) for cid, col in self.columns.items()},
+            length=kept,
+        )
+
+    def memory_bytes(self) -> int:
+        return sum(col.memory_bytes() for col in self.columns.values())
+
+
+@dataclass
+class ExecutionContext:
+    """Shared run-time state for one query execution."""
+
+    oplog: OperationLog
+    recycler: Optional["Recycler"] = None
+    trace: list[dict] = field(default_factory=list)
+    rows_extracted: int = 0
+    operators_run: int = 0
+
+
+class PhysicalNode:
+    """Base class for physical operators."""
+
+    def __init__(self, schema: list[lg.OutCol]) -> None:
+        self.schema = schema
+        self.signature: Optional[str] = None  # set for recyclable nodes
+
+    def children(self) -> list["PhysicalNode"]:
+        return []
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def execute(self, ctx: ExecutionContext) -> Chunk:
+        ctx.operators_run += 1
+        if self.signature is not None and ctx.recycler is not None:
+            cached = ctx.recycler.lookup(self.signature)
+            if cached is not None:
+                columns, length = cached
+                ctx.trace.append(
+                    {"op": "recycler_hit", "node": type(self).__name__,
+                     "signature": self.signature[:60]}
+                )
+                # Cached results are positional; re-key to this plan's cids.
+                return Chunk(
+                    columns={c.cid: columns[i]
+                             for i, c in enumerate(self.schema)},
+                    length=length,
+                )
+        chunk = self._run(ctx)
+        if self.signature is not None and ctx.recycler is not None:
+            ctx.recycler.admit(
+                self.signature,
+                [chunk.columns[c.cid] for c in self.schema],
+                chunk.length,
+            )
+        return chunk
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Join machinery (shared by PJoin and PLazyFetch)
+# ---------------------------------------------------------------------------
+
+
+def _combined_codes(columns: list[Column]) -> np.ndarray:
+    """Factorize multi-column keys into one int64 code; NULL rows get -1."""
+    if not columns:
+        raise ExecutionError("join requires at least one key column")
+    combined: Optional[np.ndarray] = None
+    for col in columns:
+        codes, count = col.factorize()
+        if combined is None:
+            combined = codes.copy()
+        else:
+            null_mask = (combined < 0) | (codes < 0)
+            combined = combined * (count + 1) + codes
+            combined[null_mask] = -1
+    assert combined is not None
+    return combined
+
+
+def _factorize_pair(left: list[Column], right: list[Column]
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Factorize left/right key sets in a shared dictionary space."""
+    merged = [Column.concat([l, r]) for l, r in zip(left, right)]
+    codes = _combined_codes(merged)
+    split = len(left[0]) if left else 0
+    return codes[:split], codes[split:]
+
+
+def join_indices(left_keys: list[Column], right_keys: list[Column]
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All matching row pairs for an equi join.
+
+    Returns ``(left_idx, right_idx, left_match_counts)``; NULL keys never
+    match.  Vectorised: sort right codes once, binary-search the left side,
+    then expand ranges without Python loops.
+    """
+    left_codes, right_codes = _factorize_pair(left_keys, right_keys)
+    order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[order]
+    lo = np.searchsorted(sorted_right, left_codes, side="left")
+    hi = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = hi - lo
+    # NULL keys never match: -1 left codes are masked here, and -1 right
+    # codes sort before every valid code so valid probes never reach them.
+    counts[left_codes < 0] = 0
+    lo[left_codes < 0] = 0
+    total = int(counts.sum())
+    left_idx = np.repeat(np.arange(len(left_codes)), counts)
+    if total:
+        starts = np.repeat(np.cumsum(counts) - counts, counts)
+        offsets = np.arange(total) - starts
+        right_idx = order[np.repeat(lo, counts) + offsets]
+    else:
+        right_idx = np.zeros(0, dtype=np.int64)
+    return left_idx, right_idx, counts
+
+
+# ---------------------------------------------------------------------------
+# Leaf operators
+# ---------------------------------------------------------------------------
+
+
+class PTableScan(PhysicalNode):
+    """Scan a base table, materialising only the pruned column set."""
+
+    def __init__(self, node: lg.LScan) -> None:
+        super().__init__(node.output)
+        self.table = node.table
+        self.qualified_name = node.qualified_name
+
+    def describe(self) -> str:
+        cols = ", ".join(c.name for c in self.schema)
+        return f"TableScan {self.qualified_name} [{cols}]"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        columns = {c.cid: self.table.column(c.name) for c in self.schema}
+        ctx.oplog.record("scan", f"scan {self.qualified_name}",
+                         rows=self.table.row_count,
+                         columns=len(self.schema))
+        return Chunk(columns=columns, length=self.table.row_count)
+
+
+class PScanAll(PhysicalNode):
+    """Extract the entire repository for a lazy table (worst case / NoDB)."""
+
+    def __init__(self, node: lg.LScanAll) -> None:
+        super().__init__(node.output)
+        self.binding = node.binding
+        self.table_name = node.table_name
+
+    def describe(self) -> str:
+        cols = ", ".join(c.name for c in self.schema)
+        return f"LazyScanAll {self.table_name} [{cols}] (full repository!)"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        started = time.perf_counter()
+        named = self.binding.scan_all([c.name for c in self.schema], ctx.trace)
+        elapsed = time.perf_counter() - started
+        length = len(next(iter(named.values()))) if named else 0
+        ctx.rows_extracted += length
+        ctx.oplog.record(
+            "extract", f"full extraction of {self.table_name}",
+            rows=length, seconds=round(elapsed, 4),
+        )
+        columns = {c.cid: named[c.name] for c in self.schema}
+        return Chunk(columns=columns, length=length)
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+class PFilter(PhysicalNode):
+    def __init__(self, node: lg.LFilter, child: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.child = child
+        self.predicate = node.predicate
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Filter {self.predicate!r}"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        chunk = self.child.execute(ctx)
+        if chunk.length == 0:
+            return chunk
+        mask = ex.predicate_mask(
+            self.predicate.eval(chunk.columns, chunk.length)
+        )
+        return chunk.filter(mask)
+
+
+class PProject(PhysicalNode):
+    def __init__(self, node: lg.LProject, child: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.child = child
+        self.exprs = node.exprs
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        cols = ", ".join(c.name for c in self.schema)
+        return f"Project [{cols}]"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        chunk = self.child.execute(ctx)
+        columns = {}
+        for out, expr in zip(self.schema, self.exprs):
+            columns[out.cid] = expr.eval(chunk.columns, chunk.length)
+        return Chunk(columns=columns, length=chunk.length)
+
+
+class PSort(PhysicalNode):
+    def __init__(self, node: lg.LSort, child: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.child = child
+        self.keys = node.keys
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        parts = [f"{k!r} {'ASC' if asc else 'DESC'}" for k, asc in self.keys]
+        return f"Sort [{', '.join(parts)}]"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        chunk = self.child.execute(ctx)
+        if chunk.length <= 1:
+            return chunk
+        lexsort_keys: list[np.ndarray] = []
+        for key_expr, ascending in self.keys:
+            col = key_expr.eval(chunk.columns, chunk.length)
+            if col.dtype == DataType.VARCHAR:
+                values, _count = col.factorize()
+                values = values.astype(np.float64)
+            else:
+                values = col.values.astype(np.float64)
+            if not ascending:
+                values = -values
+            null_rank = (~col.validity()).astype(np.int8)  # NULLS LAST
+            # Within one ORDER BY key the null rank dominates the value.
+            lexsort_keys.append(null_rank)
+            lexsort_keys.append(values)
+        # np.lexsort sorts by the LAST key first; our list is primary-first
+        # with (null_rank, values) pairs, so reverse it wholesale.
+        order = np.lexsort(tuple(reversed(lexsort_keys)))
+        return chunk.take(order)
+
+
+class PLimit(PhysicalNode):
+    def __init__(self, node: lg.LLimit, child: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.child = child
+        self.limit = node.limit
+        self.offset = node.offset
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Limit {self.limit} OFFSET {self.offset}"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        chunk = self.child.execute(ctx)
+        start = self.offset
+        stop = chunk.length if self.limit is None else start + self.limit
+        columns = {cid: col.slice(start, stop)
+                   for cid, col in chunk.columns.items()}
+        return Chunk(columns=columns, length=max(0, min(stop, chunk.length) - start))
+
+
+class PDistinct(PhysicalNode):
+    def __init__(self, node: lg.LDistinct, child: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.child = child
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return "Distinct"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        chunk = self.child.execute(ctx)
+        if chunk.length == 0:
+            return chunk
+        codes = _combined_codes([chunk.columns[c.cid] for c in self.schema])
+        _uniques, first = np.unique(codes, return_index=True)
+        return chunk.take(np.sort(first))
+
+
+# ---------------------------------------------------------------------------
+# Join
+# ---------------------------------------------------------------------------
+
+
+class PJoin(PhysicalNode):
+    def __init__(self, node: lg.LJoin, left: PhysicalNode,
+                 right: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.left = left
+        self.right = right
+        self.kind = node.kind
+        self.left_keys = node.left_keys
+        self.right_keys = node.right_keys
+        self.residual = node.residual
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        if self.left_keys:
+            keys = ", ".join(f"#{l}=#{r}" for l, r in
+                             zip(self.left_keys, self.right_keys))
+            base = f"HashJoin[{self.kind}] on {keys}"
+        else:
+            base = f"NestedJoin[{self.kind}]"
+        if self.residual is not None:
+            base += f" residual {self.residual!r}"
+        return base
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        if self.left_keys:
+            left_cols = [left.columns[cid] for cid in self.left_keys]
+            right_cols = [right.columns[cid] for cid in self.right_keys]
+            left_idx, right_idx, _counts = join_indices(left_cols, right_cols)
+        else:
+            # Cross product (kept small by the optimiser in practice).
+            left_idx = np.repeat(np.arange(left.length), right.length)
+            right_idx = np.tile(np.arange(right.length), left.length)
+
+        if self.residual is not None and len(left_idx):
+            frame = {}
+            for cid, col in left.columns.items():
+                frame[cid] = col.take(left_idx)
+            for cid, col in right.columns.items():
+                frame[cid] = col.take(right_idx)
+            mask = ex.predicate_mask(
+                self.residual.eval(frame, len(left_idx))
+            )
+            left_idx = left_idx[mask]
+            right_idx = right_idx[mask]
+
+        if self.kind == "left":
+            matched = np.zeros(left.length, dtype=bool)
+            if len(left_idx):
+                matched[left_idx] = True
+            missing = np.flatnonzero(~matched)
+            pad = len(missing)
+            left_idx = np.concatenate([left_idx, missing])
+            columns: dict[int, Column] = {}
+            for cid, col in left.columns.items():
+                columns[cid] = col.take(left_idx)
+            for cid, col in right.columns.items():
+                taken = col.take(right_idx)
+                padded = Column.concat([taken, Column.nulls(col.dtype, pad)])
+                columns[cid] = padded
+            return Chunk(columns=columns, length=len(left_idx))
+
+        columns = {}
+        for cid, col in left.columns.items():
+            columns[cid] = col.take(left_idx)
+        for cid, col in right.columns.items():
+            columns[cid] = col.take(right_idx)
+        return Chunk(columns=columns, length=len(left_idx))
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+_MIN_SENTINELS = {
+    DataType.BIGINT: np.iinfo(np.int64).max,
+    DataType.TIMESTAMP: np.iinfo(np.int64).max,
+    DataType.DOUBLE: np.inf,
+    DataType.BOOLEAN: True,
+}
+_MAX_SENTINELS = {
+    DataType.BIGINT: np.iinfo(np.int64).min,
+    DataType.TIMESTAMP: np.iinfo(np.int64).min,
+    DataType.DOUBLE: -np.inf,
+    DataType.BOOLEAN: False,
+}
+
+
+class PAggregate(PhysicalNode):
+    def __init__(self, node: lg.LAggregate, child: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.child = child
+        self.group_exprs = node.group_exprs
+        self.aggregates = node.aggregates
+        self.group_cols = node.output[: len(node.group_exprs)]
+        self.agg_cols = node.output[len(node.group_exprs):]
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        groups = ", ".join(repr(g) for g in self.group_exprs) or "<global>"
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"Aggregate groups=[{groups}] aggs=[{aggs}]"
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        chunk = self.child.execute(ctx)
+        length = chunk.length
+
+        if not self.group_exprs and length == 0:
+            # Global aggregate over empty input: one row, COUNT()=0, rest NULL.
+            columns: dict[int, Column] = {}
+            for out, agg in zip(self.agg_cols, self.aggregates):
+                if agg.name == "count":
+                    columns[out.cid] = Column.from_values(DataType.BIGINT, [0])
+                else:
+                    columns[out.cid] = Column.nulls(out.dtype, 1)
+            return Chunk(columns=columns, length=1)
+
+        if self.group_exprs:
+            group_values = [g.eval(chunk.columns, length)
+                            for g in self.group_exprs]
+            codes = _combined_codes(group_values)
+            uniques, first, inverse = np.unique(
+                codes, return_index=True, return_inverse=True
+            )
+            n_groups = len(uniques)
+        else:
+            group_values = []
+            first = np.zeros(0, dtype=np.int64)
+            inverse = np.zeros(length, dtype=np.int64)
+            n_groups = 1
+
+        order = np.argsort(inverse, kind="stable")
+        starts = np.searchsorted(inverse[order], np.arange(n_groups), side="left")
+
+        columns = {}
+        for out, group_col in zip(self.group_cols, group_values):
+            columns[out.cid] = group_col.take(first)
+        for out, agg in zip(self.agg_cols, self.aggregates):
+            columns[out.cid] = self._compute_aggregate(
+                agg, out.dtype, chunk, order, starts, inverse, n_groups, length
+            )
+        return Chunk(columns=columns, length=n_groups)
+
+    def _compute_aggregate(self, agg: ex.AggCall, dtype: DataType, chunk: Chunk,
+                           order: np.ndarray, starts: np.ndarray,
+                           inverse: np.ndarray, n_groups: int,
+                           length: int) -> Column:
+        if agg.name == "count" and agg.arg is None:
+            counts = np.bincount(inverse, minlength=n_groups).astype(np.int64)
+            return Column(DataType.BIGINT, counts)
+
+        assert agg.arg is not None
+        col = agg.arg.eval(chunk.columns, length)
+        valid = col.validity()
+
+        if agg.distinct:
+            value_codes, _n = col.factorize()
+            pair = inverse * (np.int64(value_codes.max(initial=0)) + 2) + value_codes
+            keep_mask = valid.copy()
+            _uniq, keep_first = np.unique(
+                np.where(keep_mask, pair, -1), return_index=True
+            )
+            sel = np.zeros(length, dtype=bool)
+            sel[keep_first] = True
+            sel &= keep_mask
+            subset = np.flatnonzero(sel)
+            col = col.take(subset)
+            valid = col.validity()
+            inverse = inverse[subset]
+            length = len(subset)
+            order = np.argsort(inverse, kind="stable")
+            starts = np.searchsorted(inverse[order], np.arange(n_groups),
+                                     side="left")
+
+        ordered_valid = valid[order]
+        counts_valid = np.add.reduceat(
+            ordered_valid.astype(np.int64), starts
+        ) if length else np.zeros(n_groups, dtype=np.int64)
+        empty_groups = counts_valid == 0
+
+        if agg.name == "count":
+            return Column(DataType.BIGINT, counts_valid)
+
+        if col.dtype == DataType.VARCHAR and agg.name in ("min", "max"):
+            codes, n_values = col.factorize()
+            sentinel = n_values if agg.name == "min" else -1
+            work = np.where(valid, codes, sentinel)[order]
+            reducer = np.minimum if agg.name == "min" else np.maximum
+            best = reducer.reduceat(work, starts) if length else \
+                np.full(n_groups, sentinel)
+            uniques = np.unique(col.values.astype(str))
+            values = np.empty(n_groups, dtype=object)
+            for g in range(n_groups):
+                code = int(best[g])
+                values[g] = uniques[code] if 0 <= code < n_values else ""
+            return Column(DataType.VARCHAR, values,
+                          None if not empty_groups.any() else ~empty_groups)
+
+        numeric = col.values.astype(np.float64)
+        numeric = np.where(valid, numeric, 0.0)
+        ordered = numeric[order]
+
+        if agg.name in ("min", "max"):
+            sentinels = _MIN_SENTINELS if agg.name == "min" else _MAX_SENTINELS
+            work = np.where(valid, col.values.astype(np.float64),
+                            float(sentinels[col.dtype]))[order]
+            reducer = np.minimum if agg.name == "min" else np.maximum
+            best = reducer.reduceat(work, starts) if length else \
+                np.zeros(n_groups)
+            result = Column.from_numpy(dtype, best,
+                                       None if not empty_groups.any()
+                                       else ~empty_groups)
+            return result
+
+        sums = np.add.reduceat(ordered, starts) if length else np.zeros(n_groups)
+        if agg.name == "sum":
+            return Column.from_numpy(
+                dtype, sums, None if not empty_groups.any() else ~empty_groups
+            )
+        if agg.name == "avg":
+            with np.errstate(invalid="ignore", divide="ignore"):
+                means = sums / np.where(counts_valid == 0, 1, counts_valid)
+            return Column.from_numpy(
+                DataType.DOUBLE, means,
+                None if not empty_groups.any() else ~empty_groups,
+            )
+        if agg.name == "stddev_samp":
+            sq = np.add.reduceat(ordered * ordered, starts) if length else \
+                np.zeros(n_groups)
+            n = counts_valid.astype(np.float64)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                variance = (sq - sums * sums / np.where(n == 0, 1, n)) / \
+                    np.where(n <= 1, 1, n - 1)
+                variance = np.maximum(variance, 0.0)
+                result = np.sqrt(variance)
+            bad = counts_valid <= 1
+            return Column.from_numpy(DataType.DOUBLE, result,
+                                     None if not bad.any() else ~bad)
+        if agg.name == "median":
+            ordered_vals = col.values.astype(np.float64)[order]
+            ordered_ok = valid[order]
+            medians = np.zeros(n_groups, dtype=np.float64)
+            bounds = list(starts) + [length]
+            for g in range(n_groups):
+                seg = ordered_vals[bounds[g]:bounds[g + 1]]
+                ok = ordered_ok[bounds[g]:bounds[g + 1]]
+                seg = seg[ok]
+                medians[g] = np.median(seg) if len(seg) else 0.0
+            return Column.from_numpy(
+                dtype, medians,
+                None if not empty_groups.any() else ~empty_groups,
+            )
+        raise ExecutionError(f"unknown aggregate {agg.name}")
+
+
+# ---------------------------------------------------------------------------
+# The run-time rewriting operator (§3.1)
+# ---------------------------------------------------------------------------
+
+
+class PLazyFetch(PhysicalNode):
+    def __init__(self, node: lg.LLazyFetch, meta: PhysicalNode) -> None:
+        super().__init__(node.output)
+        self.meta = meta
+        self.node = node
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.meta]
+
+    def describe(self) -> str:
+        lo, hi = self.node.time_bounds
+        bounds = ""
+        if lo is not None or hi is not None:
+            bounds = f" time_bounds=[{lo}, {hi}]"
+        res = f" residuals={len(self.node.residuals)}" if self.node.residuals else ""
+        return (
+            f"LazyFetch {self.node.table_name} "
+            f"keys={list(self.node.binding.key_columns)} "
+            f"cols={self.node.needed}{bounds}{res} "
+            "(run-time rewrite point)"
+        )
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        meta_chunk = self.meta.execute(ctx)
+        node = self.node
+        binding = node.binding
+        key_names = list(binding.key_columns)
+
+        if meta_chunk.length == 0:
+            ctx.trace.append({"op": "rewrite", "table": node.table_name,
+                              "files": 0, "note": "metadata selected nothing"})
+            return Chunk.empty(self.schema)
+
+        keys = {
+            name: meta_chunk.columns[cid].values
+            for name, cid in zip(key_names, node.meta_key_cids)
+        }
+        ctx.trace.append({
+            "op": "rewrite",
+            "table": node.table_name,
+            "meta_rows": meta_chunk.length,
+            "needed": list(node.needed),
+            "time_bounds": node.time_bounds,
+        })
+        started = time.perf_counter()
+        named = binding.fetch(keys, list(node.needed), node.time_bounds,
+                              ctx.trace)
+        elapsed = time.perf_counter() - started
+        lazy_len = len(next(iter(named.values()))) if named else 0
+        ctx.rows_extracted += lazy_len
+        ctx.oplog.record(
+            "extract", f"lazy fetch from {node.table_name}",
+            rows=lazy_len, seconds=round(elapsed, 4),
+        )
+
+        name_to_cid = {c.name: c.cid for c in node.lazy_output}
+        lazy_frame = {name_to_cid[n]: col for n, col in named.items()
+                      if n in name_to_cid}
+        lazy_chunk = Chunk(columns=lazy_frame, length=lazy_len)
+
+        # Record/value-level residual predicates (e.g. sample_time windows)
+        # run right after extraction, before the join back to metadata.
+        for residual in node.residuals:
+            if lazy_chunk.length == 0:
+                break
+            mask = ex.predicate_mask(
+                residual.eval(lazy_chunk.columns, lazy_chunk.length)
+            )
+            lazy_chunk = lazy_chunk.filter(mask)
+
+        left_key_cols = [meta_chunk.columns[cid] for cid in node.meta_key_cids]
+        right_key_cols = [lazy_chunk.columns[name_to_cid[n]] for n in key_names]
+        left_idx, right_idx, _counts = join_indices(left_key_cols, right_key_cols)
+
+        columns: dict[int, Column] = {}
+        for cid, col in meta_chunk.columns.items():
+            columns[cid] = col.take(left_idx)
+        for cid, col in lazy_chunk.columns.items():
+            columns[cid] = col.take(right_idx)
+        return Chunk(columns=columns, length=len(left_idx))
+
+
+# ---------------------------------------------------------------------------
+# Physical plan construction
+# ---------------------------------------------------------------------------
+
+
+def build_physical(node: lg.LogicalNode,
+                   recycler: Optional["Recycler"] = None) -> PhysicalNode:
+    """Translate a logical plan 1:1 into physical operators.
+
+    When a recycler is supplied, recyclable nodes (aggregates and lazy
+    fetches — the expensive materialisation points) get a stable signature
+    so their results can be reused across queries.
+    """
+    from repro.db.exec.recycler import signature_of
+
+    if isinstance(node, lg.LScan):
+        return PTableScan(node)
+    if isinstance(node, lg.LScanAll):
+        return PScanAll(node)
+    if isinstance(node, lg.LFilter):
+        return PFilter(node, build_physical(node.child, recycler))
+    if isinstance(node, lg.LProject):
+        return PProject(node, build_physical(node.child, recycler))
+    if isinstance(node, lg.LSort):
+        return PSort(node, build_physical(node.child, recycler))
+    if isinstance(node, lg.LLimit):
+        return PLimit(node, build_physical(node.child, recycler))
+    if isinstance(node, lg.LDistinct):
+        return PDistinct(node, build_physical(node.child, recycler))
+    if isinstance(node, lg.LJoin):
+        return PJoin(node, build_physical(node.left, recycler),
+                     build_physical(node.right, recycler))
+    if isinstance(node, lg.LAggregate):
+        physical = PAggregate(node, build_physical(node.child, recycler))
+        if recycler is not None:
+            physical.signature = signature_of(node)
+        return physical
+    if isinstance(node, lg.LLazyFetch):
+        physical = PLazyFetch(node, build_physical(node.meta, recycler))
+        if recycler is not None:
+            physical.signature = signature_of(node)
+        return physical
+    raise ExecutionError(f"no physical operator for {type(node).__name__}")

@@ -1,0 +1,6 @@
+"""SQL front-end: lexer, AST definitions and recursive-descent parser."""
+
+from repro.db.sql.parser import parse_statement, parse_select
+from repro.db.sql import ast
+
+__all__ = ["parse_statement", "parse_select", "ast"]

@@ -1,0 +1,145 @@
+"""SQL lexer.
+
+Keywords are case-insensitive; identifiers are folded to lower case
+(quote with double quotes to preserve case).  String literals use single
+quotes with ``''`` escaping, as in the paper's queries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "offset", "as", "and", "or", "not", "in", "between", "like", "is",
+    "null", "true", "false", "asc", "desc", "distinct", "join", "inner",
+    "left", "right", "outer", "on", "cross", "create", "table", "view",
+    "schema", "drop", "insert", "into", "values", "delete", "update", "set",
+    "primary", "foreign", "key", "references", "explain", "case", "when",
+    "then", "else", "end", "cast", "exists", "if", "union", "all",
+}
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.text!r})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenise ``sql``; raises :class:`LexerError` on unknown characters."""
+    tokens: list[Token] = []
+    index = 0
+    size = len(sql)
+    while index < size:
+        ch = sql[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if sql.startswith("--", index):
+            end = sql.find("\n", index)
+            index = size if end < 0 else end + 1
+            continue
+        if sql.startswith("/*", index):
+            end = sql.find("*/", index + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", index)
+            index = end + 2
+            continue
+        if ch == "'":
+            chunks = []
+            pos = index + 1
+            while True:
+                if pos >= size:
+                    raise LexerError("unterminated string literal", index)
+                if sql[pos] == "'":
+                    if pos + 1 < size and sql[pos + 1] == "'":
+                        chunks.append("'")
+                        pos += 2
+                        continue
+                    break
+                chunks.append(sql[pos])
+                pos += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), index))
+            index = pos + 1
+            continue
+        if ch == '"':
+            end = sql.find('"', index + 1)
+            if end < 0:
+                raise LexerError("unterminated quoted identifier", index)
+            tokens.append(Token(TokenType.IDENT, sql[index + 1 : end], index))
+            index = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and index + 1 < size and sql[index + 1].isdigit()):
+            pos = index
+            seen_dot = False
+            seen_exp = False
+            while pos < size:
+                c = sql[pos]
+                if c.isdigit():
+                    pos += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # Disambiguate "1." followed by an identifier (alias.col
+                    # never starts with a digit, so a dot after digits is a
+                    # decimal point).
+                    seen_dot = True
+                    pos += 1
+                elif c in "eE" and not seen_exp and pos + 1 < size and (
+                    sql[pos + 1].isdigit() or sql[pos + 1] in "+-"
+                ):
+                    seen_exp = True
+                    pos += 2 if sql[pos + 1] in "+-" else 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[index:pos], index))
+            index = pos
+            continue
+        if ch.isalpha() or ch == "_":
+            pos = index
+            while pos < size and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            word = sql[index:pos].lower()
+            kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(kind, word, index))
+            index = pos
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, index):
+                tokens.append(Token(TokenType.OPERATOR, op, index))
+                index += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, index))
+            index += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", index)
+    tokens.append(Token(TokenType.EOF, "", size))
+    return tokens

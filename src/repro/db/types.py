@@ -1,0 +1,139 @@
+"""SQL type system.
+
+Five scalar types cover the paper's schema: BOOLEAN, BIGINT, DOUBLE,
+VARCHAR and TIMESTAMP.  TIMESTAMP is physically an int64 of microseconds
+since the Unix epoch (see :mod:`repro.util.timefmt`), which keeps
+sample-time predicates exact integer comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import TypeMismatchError
+from repro.util.timefmt import format_iso8601, parse_iso8601
+
+
+class DataType(enum.Enum):
+    """The engine's scalar types."""
+
+    BOOLEAN = "boolean"
+    BIGINT = "bigint"
+    DOUBLE = "double"
+    VARCHAR = "varchar"
+    TIMESTAMP = "timestamp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+_NUMPY_DTYPES = {
+    DataType.BOOLEAN: np.dtype(np.bool_),
+    DataType.BIGINT: np.dtype(np.int64),
+    DataType.DOUBLE: np.dtype(np.float64),
+    DataType.VARCHAR: np.dtype(object),
+    DataType.TIMESTAMP: np.dtype(np.int64),
+}
+
+_TYPE_NAMES = {
+    "boolean": DataType.BOOLEAN,
+    "bool": DataType.BOOLEAN,
+    "bigint": DataType.BIGINT,
+    "int": DataType.BIGINT,
+    "integer": DataType.BIGINT,
+    "smallint": DataType.BIGINT,
+    "tinyint": DataType.BIGINT,
+    "double": DataType.DOUBLE,
+    "float": DataType.DOUBLE,
+    "real": DataType.DOUBLE,
+    "varchar": DataType.VARCHAR,
+    "string": DataType.VARCHAR,
+    "text": DataType.VARCHAR,
+    "char": DataType.VARCHAR,
+    "clob": DataType.VARCHAR,
+    "timestamp": DataType.TIMESTAMP,
+}
+
+
+def type_from_name(name: str) -> DataType:
+    """Resolve an SQL type name (many aliases) to a :class:`DataType`."""
+    try:
+        return _TYPE_NAMES[name.lower()]
+    except KeyError:
+        raise TypeMismatchError(f"unknown SQL type {name!r}") from None
+
+
+def numpy_dtype(dtype: DataType) -> np.dtype:
+    """The physical NumPy dtype backing a SQL type."""
+    return _NUMPY_DTYPES[dtype]
+
+
+def is_numeric(dtype: DataType) -> bool:
+    return dtype in (DataType.BIGINT, DataType.DOUBLE)
+
+
+def common_numeric(left: DataType, right: DataType) -> DataType:
+    """Numeric promotion: BIGINT op DOUBLE → DOUBLE."""
+    if not (is_numeric(left) and is_numeric(right)):
+        raise TypeMismatchError(f"cannot combine {left} and {right} numerically")
+    if DataType.DOUBLE in (left, right):
+        return DataType.DOUBLE
+    return DataType.BIGINT
+
+
+def comparable(left: DataType, right: DataType) -> bool:
+    """Whether two types may appear on either side of a comparison."""
+    if left == right:
+        return True
+    if is_numeric(left) and is_numeric(right):
+        return True
+    # VARCHAR literals compare against TIMESTAMP after implicit parsing;
+    # the binder rewrites the literal, so by evaluation time both sides
+    # match.  At the type-check level we allow the pair.
+    pair = {left, right}
+    return pair == {DataType.TIMESTAMP, DataType.VARCHAR}
+
+
+def coerce_literal(value, dtype: DataType):
+    """Coerce a Python literal to the physical value for ``dtype``."""
+    if value is None:
+        return None
+    if dtype == DataType.BOOLEAN:
+        return bool(value)
+    if dtype == DataType.BIGINT:
+        return int(value)
+    if dtype == DataType.DOUBLE:
+        return float(value)
+    if dtype == DataType.VARCHAR:
+        return str(value)
+    if dtype == DataType.TIMESTAMP:
+        if isinstance(value, str):
+            return parse_iso8601(value)
+        return int(value)
+    raise TypeMismatchError(f"cannot coerce {value!r} to {dtype}")
+
+
+def literal_type(value) -> DataType:
+    """Infer the SQL type of a Python literal."""
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.BIGINT
+    if isinstance(value, float):
+        return DataType.DOUBLE
+    if isinstance(value, str):
+        return DataType.VARCHAR
+    raise TypeMismatchError(f"unsupported literal {value!r}")
+
+
+def render_value(value, dtype: DataType) -> str:
+    """Render one value for result display."""
+    if value is None:
+        return "NULL"
+    if dtype == DataType.TIMESTAMP:
+        return format_iso8601(int(value))
+    if dtype == DataType.DOUBLE:
+        return f"{value:.6g}"
+    return str(value)

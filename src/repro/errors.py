@@ -1,0 +1,117 @@
+"""Exception hierarchy for the Lazy ETL reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Subsystems have their own branches:
+file-format errors (``MSeedError``), database errors (``DatabaseError``
+with SQL parse/bind/execution refinements) and ETL errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# mSEED / file-format errors
+# ---------------------------------------------------------------------------
+
+
+class MSeedError(ReproError):
+    """Base class for mSEED format errors."""
+
+
+class CorruptRecordError(MSeedError):
+    """A record's header or payload violates the format specification."""
+
+
+class UnsupportedEncodingError(MSeedError):
+    """The record uses a data encoding this reader does not implement."""
+
+
+class SteimError(MSeedError):
+    """Steim frame compression or decompression failed."""
+
+
+# ---------------------------------------------------------------------------
+# Repository errors
+# ---------------------------------------------------------------------------
+
+
+class RepositoryError(ReproError):
+    """Base class for repository access errors."""
+
+
+class FileMissingError(RepositoryError):
+    """A file referenced by metadata no longer exists in the repository."""
+
+
+# ---------------------------------------------------------------------------
+# Database errors
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(ReproError):
+    """Base class for warehouse-engine errors."""
+
+
+class SQLError(DatabaseError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SQLError):
+    """The SQL text contains a token the lexer cannot recognise."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The SQL text is not grammatical."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(SQLError):
+    """Name resolution or type checking failed (unknown table/column, ...)."""
+
+
+class CatalogError(DatabaseError):
+    """Catalog manipulation failed (duplicate/unknown schema object, ...)."""
+
+
+class ConstraintError(DatabaseError):
+    """A primary-key or foreign-key constraint was violated."""
+
+
+class ExecutionError(DatabaseError):
+    """A physical operator failed at run time."""
+
+
+class TypeMismatchError(BindError):
+    """Two expressions with incompatible types were combined."""
+
+
+# ---------------------------------------------------------------------------
+# ETL errors
+# ---------------------------------------------------------------------------
+
+
+class ETLError(ReproError):
+    """Base class for extract/transform/load errors."""
+
+
+class ExtractionError(ETLError):
+    """Extraction from a source file failed."""
+
+
+class TransformError(ETLError):
+    """A transformation rejected its input."""
+
+
+class StalenessError(ETLError):
+    """Cache refresh could not reconcile an updated source."""

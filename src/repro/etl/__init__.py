@@ -1,0 +1,51 @@
+"""Lazy ETL — the paper's primary contribution.
+
+Three interchangeable ingestion strategies over the same warehouse schema:
+
+* :class:`~repro.etl.lazy.LazyETL` — the paper's system: initial loading
+  covers only metadata; actual data is extracted/transformed/loaded at
+  query time through a run-time plan rewrite, with an LRU extraction cache
+  and mtime-based lazy refresh.
+* :class:`~repro.etl.eager.EagerETL` — the traditional baseline: extract,
+  transform and bulk load everything before the first query.
+* :class:`~repro.etl.external.ExternalTableETL` — the external-table /
+  NoDB-style comparator from §2: no up-front loading at all, but every
+  query re-extracts the entire repository.
+"""
+
+from repro.etl.framework import SourceAdapter, ETLReport
+from repro.etl.metadata import (
+    Granularity,
+    FileMeta,
+    RecordMeta,
+    HarvestResult,
+    harvest_repository,
+)
+from repro.etl.cache import ExtractionCache, CacheStats
+from repro.etl.mseed_adapter import MSeedAdapter
+from repro.etl.csv_adapter import CsvDirAdapter
+from repro.etl.lazy import LazyETL, LazyDataBinding
+from repro.etl.eager import EagerETL
+from repro.etl.external import ExternalTableETL, ExternalBinding
+from repro.etl.refresh import MetadataSync, SyncReport
+
+__all__ = [
+    "SourceAdapter",
+    "ETLReport",
+    "Granularity",
+    "FileMeta",
+    "RecordMeta",
+    "HarvestResult",
+    "harvest_repository",
+    "ExtractionCache",
+    "CacheStats",
+    "MSeedAdapter",
+    "CsvDirAdapter",
+    "LazyETL",
+    "LazyDataBinding",
+    "EagerETL",
+    "ExternalTableETL",
+    "ExternalBinding",
+    "MetadataSync",
+    "SyncReport",
+]

@@ -1,0 +1,202 @@
+"""The extraction cache — lazy loading per §3.3.
+
+"Materialization of the extracted and transformed data is simply caching"
+— this module is that cache.  Entries live at **record grain**
+``(uri, seq_no)`` so overlapping queries reuse each other's extractions
+partially; each entry stores the transformed columns of one record plus
+the file's mtime at admission.
+
+Policies: LRU (the paper's), FIFO and a cost-aware variant for the
+eviction ablation.  The byte budget models "not larger than the size of
+the system's main memory".
+
+Staleness (lazy refresh): :meth:`ExtractionCache.validate_file` compares
+the file's current mtime with the admission-time mtime; on mismatch all of
+the file's entries are dropped, forcing re-extraction from the updated
+file during the same query — no separate refresh job ever runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ETLError
+
+POLICIES = ("lru", "fifo", "cost")
+
+
+@dataclass
+class CacheEntry:
+    columns: dict[str, np.ndarray]
+    mtime_ns: int
+    nbytes: int
+    admitted_seq: int
+    cost_estimate: float
+    hits: int = 0
+
+
+@dataclass
+class CacheStats:
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    evictions: int = 0
+    stale_drops: int = 0
+    widenings: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ExtractionCache:
+    """Bounded record-grain cache of extracted, transformed actual data."""
+
+    def __init__(self, budget_bytes: int = 256 * 1024 * 1024,
+                 policy: str = "lru") -> None:
+        if policy not in POLICIES:
+            raise ETLError(f"unknown cache policy {policy!r}")
+        self.budget_bytes = budget_bytes
+        self.policy = policy
+        self._entries: "OrderedDict[tuple[str, int], CacheEntry]" = OrderedDict()
+        self._file_mtime: dict[str, int] = {}
+        self._bytes = 0
+        self._admission_counter = itertools.count(1)
+        self.stats = CacheStats()
+        self.epoch = 0  # bumped on every mutation; recycler signatures use it
+
+    # -- staleness ---------------------------------------------------------------
+
+    def validate_file(self, uri: str, current_mtime_ns: int) -> bool:
+        """Lazy refresh check: drop the file's entries if it changed.
+
+        Returns ``True`` when cached entries (if any) are still valid.
+        """
+        known = self._file_mtime.get(uri)
+        if known is None:
+            return True
+        if known == current_mtime_ns:
+            return True
+        dropped = self.invalidate_file(uri)
+        self.stats.stale_drops += dropped
+        return False
+
+    def invalidate_file(self, uri: str) -> int:
+        doomed = [key for key in self._entries if key[0] == uri]
+        for key in doomed:
+            entry = self._entries.pop(key)
+            self._bytes -= entry.nbytes
+        self._file_mtime.pop(uri, None)
+        if doomed:
+            self.epoch += 1
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._file_mtime.clear()
+        self._bytes = 0
+        self.epoch += 1
+
+    # -- lookup / admission ------------------------------------------------------------
+
+    def get(self, uri: str, seq_no: int,
+            needed: list[str]) -> Optional[dict[str, np.ndarray]]:
+        """Return the record's columns if all ``needed`` ones are cached."""
+        self.stats.lookups += 1
+        entry = self._entries.get((uri, seq_no))
+        if entry is None or any(col not in entry.columns for col in needed):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        entry.hits += 1
+        if self.policy == "lru":
+            self._entries.move_to_end((uri, seq_no))
+        return {col: entry.columns[col] for col in needed}
+
+    def put(self, uri: str, seq_no: int, mtime_ns: int,
+            columns: dict[str, np.ndarray],
+            *, cost_estimate: float = 1.0) -> bool:
+        """Admit (or widen) one record's transformed columns."""
+        key = (uri, seq_no)
+        existing = self._entries.get(key)
+        if existing is not None:
+            merged = dict(existing.columns)
+            merged.update(columns)
+            self._bytes -= existing.nbytes
+            self.stats.widenings += 1
+            columns = merged
+            del self._entries[key]
+        nbytes = sum(arr.nbytes for arr in columns.values())
+        if nbytes > self.budget_bytes:
+            return False
+        self._entries[key] = CacheEntry(
+            columns=columns,
+            mtime_ns=mtime_ns,
+            nbytes=nbytes,
+            admitted_seq=next(self._admission_counter),
+            cost_estimate=cost_estimate,
+        )
+        self._file_mtime[uri] = mtime_ns
+        self._bytes += nbytes
+        self.stats.admissions += 1
+        self.epoch += 1
+        self._evict_to_budget()
+        return True
+
+    def _evict_to_budget(self) -> None:
+        while self._bytes > self.budget_bytes and self._entries:
+            victim = self._pick_victim()
+            entry = self._entries.pop(victim)
+            self._bytes -= entry.nbytes
+            self.stats.evictions += 1
+            self.epoch += 1
+
+    def _pick_victim(self) -> tuple[str, int]:
+        if self.policy in ("lru", "fifo"):
+            return next(iter(self._entries))
+        return min(
+            self._entries,
+            key=lambda key: (
+                self._entries[key].cost_estimate
+                / max(self._entries[key].nbytes, 1)
+            ),
+        )
+
+    # -- introspection (demo capability 7) ------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        return key in self._entries
+
+    def cached_seq_nos(self, uri: str) -> list[int]:
+        return sorted(seq for (u, seq) in self._entries if u == uri)
+
+    def contents(self) -> list[tuple[str, int, int, int]]:
+        """(uri, seq_no, bytes, hits) per entry, in eviction order."""
+        return [
+            (uri, seq, entry.nbytes, entry.hits)
+            for (uri, seq), entry in self._entries.items()
+        ]
+
+    def render(self, max_rows: int = 20) -> str:
+        lines = [
+            f"extraction cache: {len(self)} entries, "
+            f"{self._bytes} / {self.budget_bytes} bytes ({self.policy})"
+        ]
+        for uri, seq, nbytes, hits in self.contents()[:max_rows]:
+            lines.append(f"  {uri} seq={seq} bytes={nbytes} hits={hits}")
+        if len(self) > max_rows:
+            lines.append(f"  ... {len(self) - max_rows} more entries")
+        return "\n".join(lines)

@@ -1,0 +1,292 @@
+"""A second source format: directories of CSV sensor logs.
+
+The Lazy ETL core is format-agnostic — everything format-specific lives
+behind :class:`~repro.etl.framework.SourceAdapter`.  This adapter proves
+it with a completely different source: plain-text CSV files named
+``SENSOR_CHANNEL_YYYYMMDD.csv`` containing ``timestamp_us,value`` lines.
+
+CSV has no record structure, so "records" are fixed-size **line blocks**
+(default 1000 rows).  Harvesting a file reads it once and remembers each
+block's *byte offset* — a positional map in the spirit of NoDB — so lazy
+extraction later parses only the byte ranges of the blocks a query needs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.db.table import ColumnSpec
+from repro.db.types import DataType
+from repro.errors import ExtractionError
+from repro.etl.framework import ExtractedRecords, SourceAdapter
+from repro.etl.metadata import WHOLE_FILE_SEQ, FileMeta, RecordMeta
+from repro.mseed.repository import FileInfo, Repository
+from repro.util.timefmt import MICROS_PER_DAY, from_ymd
+
+
+@dataclass(frozen=True)
+class _BlockSpan:
+    seq_no: int
+    byte_offset: int
+    byte_length: int
+    start_time_us: int
+    end_time_us: int
+    rows: int
+
+
+def write_csv_file(path: str | os.PathLike, *, sensor: str, channel: str,
+                   start_time_us: int, interval_us: int,
+                   values: Sequence[float]) -> None:
+    """Write one sensor log (helper for tests/examples)."""
+    with open(path, "w") as handle:
+        handle.write("timestamp_us,value\n")
+        for index, value in enumerate(values):
+            stamp = start_time_us + index * interval_us
+            handle.write(f"{stamp},{float(value)!r}\n")
+
+
+def csv_filename(sensor: str, channel: str, start_time_us: int) -> str:
+    from repro.util.timefmt import to_datetime
+
+    moment = to_datetime(start_time_us)
+    return f"{sensor}_{channel}_{moment:%Y%m%d}.csv"
+
+
+class CsvDirAdapter(SourceAdapter):
+    """Source adapter for CSV sensor-log directories."""
+
+    def __init__(self, block_rows: int = 1000) -> None:
+        if block_rows < 1:
+            raise ExtractionError("block_rows must be positive")
+        self.block_rows = block_rows
+        # uri -> block spans, built during harvest (the positional map).
+        self._spans: dict[str, list[_BlockSpan]] = {}
+
+    # -- schema ------------------------------------------------------------------
+
+    def file_columns(self) -> list[ColumnSpec]:
+        return [
+            ColumnSpec("file_location", DataType.VARCHAR, not_null=True),
+            ColumnSpec("dataquality", DataType.VARCHAR),
+            ColumnSpec("network", DataType.VARCHAR),
+            ColumnSpec("station", DataType.VARCHAR),
+            ColumnSpec("location", DataType.VARCHAR),
+            ColumnSpec("channel", DataType.VARCHAR),
+            ColumnSpec("encoding", DataType.VARCHAR),
+            ColumnSpec("record_length", DataType.BIGINT),
+            ColumnSpec("n_records", DataType.BIGINT),
+            ColumnSpec("start_time", DataType.TIMESTAMP),
+            ColumnSpec("end_time", DataType.TIMESTAMP),
+            ColumnSpec("sample_rate", DataType.DOUBLE),
+            ColumnSpec("file_size", DataType.BIGINT),
+            ColumnSpec("mtime_ns", DataType.BIGINT),
+        ]
+
+    def record_columns(self) -> list[ColumnSpec]:
+        return [
+            ColumnSpec("file_location", DataType.VARCHAR, not_null=True),
+            ColumnSpec("seq_no", DataType.BIGINT, not_null=True),
+            ColumnSpec("start_time", DataType.TIMESTAMP),
+            ColumnSpec("end_time", DataType.TIMESTAMP),
+            ColumnSpec("frequency", DataType.DOUBLE),
+            ColumnSpec("sample_count", DataType.BIGINT),
+            ColumnSpec("timing_quality", DataType.BIGINT),
+        ]
+
+    def data_columns(self) -> list[ColumnSpec]:
+        return [
+            ColumnSpec("file_location", DataType.VARCHAR, not_null=True),
+            ColumnSpec("seq_no", DataType.BIGINT, not_null=True),
+            ColumnSpec("sample_time", DataType.TIMESTAMP),
+            ColumnSpec("sample_value", DataType.DOUBLE),
+        ]
+
+    @property
+    def key_columns(self) -> tuple[str, ...]:
+        return ("file_location", "seq_no")
+
+    @property
+    def range_column(self) -> Optional[str]:
+        return "sample_time"
+
+    # -- harvesting ---------------------------------------------------------------
+
+    def harvest_from_filename(self, info: FileInfo) -> Optional[FileMeta]:
+        base = info.name
+        if not base.endswith(".csv"):
+            return None
+        parts = base[:-4].split("_")
+        if len(parts) != 3 or len(parts[2]) != 8 or not parts[2].isdigit():
+            return None
+        sensor, channel, day = parts
+        start = from_ymd(int(day[:4]), int(day[4:6]), int(day[6:8]))
+        return FileMeta(
+            uri=info.uri, size=info.size, mtime_ns=info.mtime_ns,
+            network="CSV", station=sensor, location="", channel=channel,
+            encoding="CSV", start_time_us=start,
+            end_time_us=start + MICROS_PER_DAY, exact_span=False,
+        )
+
+    def _scan_blocks(self, repo: Repository, info: FileInfo
+                     ) -> tuple[list[_BlockSpan], int, int]:
+        """One pass over the file building the positional block map."""
+        spans: list[_BlockSpan] = []
+        with repo.open(info.uri) as handle:
+            header = handle.readline()
+            if not header.startswith(b"timestamp_us"):
+                raise ExtractionError(f"{info.uri}: not a sensor CSV")
+            offset = handle.tell()
+            block_start_offset = offset
+            rows = 0
+            first_us = last_us = 0
+            block_first_us = 0
+            seq = 1
+            total_rows = 0
+            for line in handle:
+                stamp = int(line.split(b",", 1)[0])
+                if rows == 0:
+                    block_first_us = stamp
+                if total_rows == 0:
+                    first_us = stamp
+                last_us = stamp
+                rows += 1
+                total_rows += 1
+                offset += len(line)
+                if rows == self.block_rows:
+                    spans.append(_BlockSpan(
+                        seq_no=seq, byte_offset=block_start_offset,
+                        byte_length=offset - block_start_offset,
+                        start_time_us=block_first_us, end_time_us=stamp,
+                        rows=rows,
+                    ))
+                    seq += 1
+                    rows = 0
+                    block_start_offset = offset
+            if rows:
+                spans.append(_BlockSpan(
+                    seq_no=seq, byte_offset=block_start_offset,
+                    byte_length=offset - block_start_offset,
+                    start_time_us=block_first_us, end_time_us=last_us,
+                    rows=rows,
+                ))
+        if not spans:
+            raise ExtractionError(f"{info.uri}: no data rows")
+        return spans, first_us, last_us
+
+    def harvest_file(self, repo: Repository, info: FileInfo,
+                     *, per_record: bool,
+                     ) -> tuple[FileMeta, list[RecordMeta]]:
+        spans, first_us, last_us = self._scan_blocks(repo, info)
+        self._spans[info.uri] = spans
+        named = self.harvest_from_filename(info)
+        sensor = named.station if named else info.name
+        channel = named.channel if named else ""
+        total_rows = sum(s.rows for s in spans)
+        rate = 0.0
+        if total_rows > 1 and last_us > first_us:
+            rate = (total_rows - 1) * 1e6 / (last_us - first_us)
+        meta = FileMeta(
+            uri=info.uri, size=info.size, mtime_ns=info.mtime_ns,
+            network="CSV", station=sensor, location="", channel=channel,
+            encoding="CSV", record_length=0, n_records=len(spans),
+            start_time_us=first_us, end_time_us=last_us,
+            sample_rate=rate, exact_span=True,
+        )
+        if per_record:
+            records = [
+                RecordMeta(uri=info.uri, seq_no=s.seq_no,
+                           start_time_us=s.start_time_us,
+                           end_time_us=s.end_time_us, frequency=rate,
+                           sample_count=s.rows)
+                for s in spans
+            ]
+        else:
+            records = [RecordMeta(uri=info.uri, seq_no=WHOLE_FILE_SEQ,
+                                  start_time_us=first_us,
+                                  end_time_us=last_us, frequency=rate,
+                                  sample_count=total_rows)]
+        return meta, records
+
+    # -- row shaping ------------------------------------------------------------------
+
+    def file_row(self, meta: FileMeta) -> dict[str, object]:
+        return {
+            "file_location": meta.uri, "dataquality": meta.dataquality,
+            "network": meta.network, "station": meta.station,
+            "location": meta.location, "channel": meta.channel,
+            "encoding": meta.encoding, "record_length": meta.record_length,
+            "n_records": meta.n_records, "start_time": meta.start_time_us,
+            "end_time": meta.end_time_us, "sample_rate": meta.sample_rate,
+            "file_size": meta.size, "mtime_ns": meta.mtime_ns,
+        }
+
+    def record_row(self, meta: RecordMeta) -> dict[str, object]:
+        return {
+            "file_location": meta.uri, "seq_no": meta.seq_no,
+            "start_time": meta.start_time_us, "end_time": meta.end_time_us,
+            "frequency": meta.frequency, "sample_count": meta.sample_count,
+            "timing_quality": meta.timing_quality,
+        }
+
+    # -- extraction -------------------------------------------------------------------
+
+    def _parse_block(self, blob: bytes, needed: Sequence[str]
+                     ) -> dict[str, np.ndarray]:
+        lines = blob.splitlines()
+        columns: dict[str, np.ndarray] = {}
+        if "sample_time" in needed:
+            columns["sample_time"] = np.fromiter(
+                (int(line.split(b",", 1)[0]) for line in lines),
+                dtype=np.int64, count=len(lines),
+            )
+        if "sample_value" in needed:
+            columns["sample_value"] = np.fromiter(
+                (float(line.rsplit(b",", 1)[1]) for line in lines),
+                dtype=np.float64, count=len(lines),
+            )
+        if not columns:
+            columns["sample_value"] = np.zeros(len(lines))
+        return columns
+
+    def extract(self, repo: Repository, uri: str,
+                seq_nos: Optional[Sequence[int]],
+                needed: Sequence[str]) -> ExtractedRecords:
+        spans = self._spans.get(uri)
+        if spans is None:
+            # Extraction before harvest (or after a restart): rebuild the
+            # positional map first.
+            info = repo.stat(uri)
+            spans, _first, _last = self._scan_blocks(repo, info)
+            self._spans[uri] = spans
+        whole_file = seq_nos is None or WHOLE_FILE_SEQ in set(seq_nos)
+        wanted = (spans if whole_file
+                  else [s for s in spans if s.seq_no in set(seq_nos)])
+        if not whole_file and len(wanted) != len(set(seq_nos)):
+            missing = set(seq_nos) - {s.seq_no for s in wanted}
+            raise ExtractionError(f"{uri}: blocks {sorted(missing)} not found")
+        path = repo.path_of(uri)
+        out = ExtractedRecords(uri=uri, seq_nos=[])
+        with open(path, "rb") as handle:
+            nbytes = 0
+            for span in wanted:
+                handle.seek(span.byte_offset)
+                blob = handle.read(span.byte_length)
+                nbytes += span.byte_length
+                out.seq_nos.append(
+                    WHOLE_FILE_SEQ if (whole_file and seq_nos is not None)
+                    else span.seq_no
+                )
+                out.per_record.append(self._parse_block(blob, needed))
+        repo.record_read(uri, nbytes)
+        if whole_file and seq_nos is not None:
+            merged = {
+                name: np.concatenate([rec[name] for rec in out.per_record])
+                for name in out.per_record[0]
+            }
+            return ExtractedRecords(uri=uri, seq_nos=[WHOLE_FILE_SEQ],
+                                    per_record=[merged])
+        return out

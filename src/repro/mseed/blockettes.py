@@ -1,0 +1,89 @@
+"""SEED blockette codecs.
+
+Only the two blockettes that matter for waveform data are implemented:
+
+* **1000** (Data Only SEED) — encoding, word order, record length; mandatory
+  in mSEED.
+* **1001** (Data Extension) — timing quality and the microsecond field that
+  extends BTIME below its 100-us resolution.
+
+Unknown blockette types are tolerated by the reader (skipped via their
+next-blockette offsets) so foreign files do not crash metadata harvesting.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CorruptRecordError
+
+_B1000 = struct.Struct(">HHBBBB")
+_B1001 = struct.Struct(">HHBbBB")
+
+BLOCKETTE_1000_SIZE = _B1000.size
+BLOCKETTE_1001_SIZE = _B1001.size
+
+
+@dataclass(frozen=True)
+class Blockette1000:
+    """Data Only SEED blockette: the format essentials."""
+
+    encoding: int
+    word_order: int  # 1 = big endian (the only order we write)
+    record_length_power: int  # record length = 2 ** power
+
+    @property
+    def record_length(self) -> int:
+        return 1 << self.record_length_power
+
+    def encode(self, next_offset: int) -> bytes:
+        return _B1000.pack(
+            1000, next_offset, self.encoding, self.word_order,
+            self.record_length_power, 0,
+        )
+
+
+@dataclass(frozen=True)
+class Blockette1001:
+    """Data Extension blockette: timing quality + microsecond correction."""
+
+    timing_quality: int  # 0..100 (%)
+    microseconds: int  # -50..99 extension below BTIME resolution
+    frame_count: int = 0
+
+    def encode(self, next_offset: int) -> bytes:
+        return _B1001.pack(
+            1001, next_offset, self.timing_quality, self.microseconds, 0,
+            self.frame_count,
+        )
+
+
+def decode_blockette_header(data: bytes, offset: int) -> tuple[int, int]:
+    """Read ``(blockette_type, next_offset)`` at ``offset``."""
+    if offset + 4 > len(data):
+        raise CorruptRecordError("blockette header beyond record end")
+    btype, nxt = struct.unpack_from(">HH", data, offset)
+    return btype, nxt
+
+
+def decode_blockette_1000(data: bytes, offset: int) -> Blockette1000:
+    if offset + BLOCKETTE_1000_SIZE > len(data):
+        raise CorruptRecordError("blockette 1000 truncated")
+    btype, _nxt, enc, order, power, _res = _B1000.unpack_from(data, offset)
+    if btype != 1000:
+        raise CorruptRecordError(f"expected blockette 1000, found {btype}")
+    if power < 6 or power > 16:
+        raise CorruptRecordError(f"implausible record length power {power}")
+    return Blockette1000(encoding=enc, word_order=order, record_length_power=power)
+
+
+def decode_blockette_1001(data: bytes, offset: int) -> Blockette1001:
+    if offset + BLOCKETTE_1001_SIZE > len(data):
+        raise CorruptRecordError("blockette 1001 truncated")
+    btype, _nxt, quality, micros, _res, frames = _B1001.unpack_from(data, offset)
+    if btype != 1001:
+        raise CorruptRecordError(f"expected blockette 1001, found {btype}")
+    return Blockette1001(
+        timing_quality=quality, microseconds=micros, frame_count=frames
+    )

@@ -1,0 +1,85 @@
+"""Station inventory: a realistic slice of the networks the paper queries.
+
+The Figure-1 queries name station ``ISK`` (Kandilli Observatory, Istanbul,
+network ``KO``) and the Dutch national network ``NL``.  The default
+inventory covers those plus a few GEOFON stations so group-by-station
+queries return multi-row results like the paper's second query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A sensor channel: SEED code plus nominal sample rate."""
+
+    code: str  # e.g. BHE / BHN / BHZ
+    sample_rate: float
+
+    @property
+    def band(self) -> str:
+        return self.code[0]
+
+    @property
+    def orientation(self) -> str:
+        return self.code[-1]
+
+
+@dataclass(frozen=True)
+class Station:
+    """A seismic station with its channels."""
+
+    network: str
+    code: str
+    name: str
+    latitude: float
+    longitude: float
+    channels: tuple[Channel, ...] = field(default_factory=tuple)
+
+    @property
+    def stream_ids(self) -> list[str]:
+        return [f"{self.network}.{self.code}..{c.code}" for c in self.channels]
+
+
+_BROADBAND = (
+    Channel("BHE", 40.0),
+    Channel("BHN", 40.0),
+    Channel("BHZ", 40.0),
+)
+
+_LONG_PERIOD = (Channel("LHZ", 1.0),)
+
+
+DEFAULT_INVENTORY: tuple[Station, ...] = (
+    # Dutch national network (KNMI) — the paper's Q2 groups over these.
+    Station("NL", "HGN", "Heimansgroeve", 50.764, 5.932, _BROADBAND + _LONG_PERIOD),
+    Station("NL", "DBN", "De Bilt", 52.102, 5.177, _BROADBAND),
+    Station("NL", "WIT", "Witteveen", 52.813, 6.668, _BROADBAND),
+    Station("NL", "WTSB", "Winterswijk", 51.966, 6.799, _BROADBAND),
+    Station("NL", "VKB", "Valkenburg", 50.867, 5.782, _BROADBAND),
+    # Kandilli Observatory, Istanbul — the paper's Q1 station.
+    Station("KO", "ISK", "Kandilli Observatory Istanbul", 41.066, 29.060, _BROADBAND),
+    Station("KO", "BALB", "Balikesir", 39.639, 27.881, _BROADBAND),
+    # GEOFON stations for variety.
+    Station("GE", "APE", "Apirathos Naxos", 37.072, 25.531, _BROADBAND),
+    Station("GE", "ISP", "Isparta", 37.843, 30.509, _BROADBAND),
+)
+
+
+def stations_by_network(network: str,
+                        inventory: tuple[Station, ...] = DEFAULT_INVENTORY,
+                        ) -> list[Station]:
+    """All stations belonging to ``network``."""
+    return [s for s in inventory if s.network == network]
+
+
+def find_station(code: str,
+                 inventory: tuple[Station, ...] = DEFAULT_INVENTORY,
+                 ) -> Station:
+    """Look up a station by code; raises ``KeyError`` when absent."""
+    for station in inventory:
+        if station.code == code:
+            return station
+    raise KeyError(f"station {code!r} not in inventory")

@@ -1,0 +1,292 @@
+"""mSEED record layer: the 48-byte fixed header plus blockettes and payload.
+
+A record is the unit of metadata granularity in the paper's schema: the
+``R`` table has one row per record, keyed by ``(file, seq_no)``.  Reading
+only headers (48 + 16 bytes per record, seeking over payloads) is what
+makes metadata-only initial loading cheap; decoding payloads is the
+expensive step deferred to lazy extraction.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CorruptRecordError
+from repro.mseed import encodings
+from repro.mseed.blockettes import (
+    Blockette1000,
+    Blockette1001,
+    BLOCKETTE_1000_SIZE,
+    BLOCKETTE_1001_SIZE,
+    decode_blockette_1000,
+    decode_blockette_1001,
+    decode_blockette_header,
+)
+from repro.mseed.btime import BTIME_SIZE, btime_residual_us, decode_btime, encode_btime
+
+RECORD_HEADER_SIZE = 48
+DEFAULT_RECORD_LENGTH = 512
+
+_FIXED_TAIL = struct.Struct(">HhhBBBBiHH")  # fields after BTIME
+
+QUALITY_CODES = ("D", "R", "Q", "M")
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """Decoded fixed section + blockette-1000/1001 essentials.
+
+    This is exactly the per-record metadata the warehouse's ``R`` table
+    stores; it is obtainable without touching the payload.
+    """
+
+    sequence_number: int
+    quality: str
+    station: str
+    location: str
+    channel: str
+    network: str
+    start_time_us: int
+    sample_count: int
+    sample_rate_factor: int
+    sample_rate_multiplier: int
+    activity_flags: int
+    io_flags: int
+    quality_flags: int
+    time_correction: int
+    data_offset: int
+    blockette_offset: int
+    encoding: int
+    record_length: int
+    timing_quality: int
+
+    @property
+    def sample_rate(self) -> float:
+        """Samples per second derived from the factor/multiplier pair."""
+        factor, mult = self.sample_rate_factor, self.sample_rate_multiplier
+        if factor == 0:
+            return 0.0
+        if factor > 0 and mult > 0:
+            return float(factor * mult)
+        if factor > 0 and mult < 0:
+            return -float(factor) / mult
+        if factor < 0 and mult > 0:
+            return -float(mult) / factor
+        return 1.0 / float(factor * mult)
+
+    @property
+    def end_time_us(self) -> int:
+        """Timestamp of the last sample in the record."""
+        if self.sample_count <= 1 or self.sample_rate <= 0:
+            return self.start_time_us
+        span = round((self.sample_count - 1) * 1_000_000 / self.sample_rate)
+        return self.start_time_us + span
+
+    @property
+    def source_id(self) -> str:
+        """Canonical ``NET.STA.LOC.CHA`` stream identifier."""
+        return f"{self.network}.{self.station}.{self.location}.{self.channel}"
+
+
+@dataclass(frozen=True)
+class MSeedRecord:
+    """A fully decoded record: header plus native sample array."""
+
+    header: RecordHeader
+    samples: np.ndarray
+
+    def sample_times_us(self) -> np.ndarray:
+        """Exact integer-microsecond timestamps for every sample."""
+        rate = self.header.sample_rate
+        count = len(self.samples)
+        offsets = np.round(np.arange(count, dtype=np.float64) * (1e6 / rate))
+        return self.header.start_time_us + offsets.astype(np.int64)
+
+
+def _pad(text: str, width: int) -> bytes:
+    raw = text.encode("ascii")
+    if len(raw) > width:
+        raise CorruptRecordError(f"field {text!r} longer than {width} bytes")
+    return raw.ljust(width)
+
+
+def encode_record(
+    *,
+    sequence_number: int,
+    quality: str,
+    station: str,
+    location: str,
+    channel: str,
+    network: str,
+    start_time_us: int,
+    samples: np.ndarray,
+    sample_rate_factor: int,
+    sample_rate_multiplier: int,
+    encoding: int,
+    record_length: int = DEFAULT_RECORD_LENGTH,
+    timing_quality: int = 100,
+    previous_sample: int | None = None,
+) -> tuple[bytes, int]:
+    """Assemble one record; returns ``(record_bytes, n_samples_encoded)``.
+
+    The payload encoder packs as many samples as fit in the record; callers
+    write the remainder into subsequent records.
+    """
+    if record_length & (record_length - 1):
+        raise CorruptRecordError(f"record length {record_length} not a power of two")
+    if not 0 <= sequence_number <= 999999:
+        raise CorruptRecordError(f"sequence number {sequence_number} out of range")
+    if quality not in QUALITY_CODES:
+        raise CorruptRecordError(f"invalid quality code {quality!r}")
+
+    data_offset = RECORD_HEADER_SIZE + BLOCKETTE_1000_SIZE + BLOCKETTE_1001_SIZE
+    capacity = record_length - data_offset
+    payload, encoded = encodings.encode_payload(
+        samples, encoding, capacity, previous=previous_sample
+    )
+    if encoded > 0xFFFF:
+        raise CorruptRecordError("more than 65535 samples in one record")
+
+    header = bytearray()
+    header.extend(f"{sequence_number:06d}".encode("ascii"))
+    header.extend(quality.encode("ascii"))
+    header.extend(b" ")
+    header.extend(_pad(station, 5))
+    header.extend(_pad(location, 2))
+    header.extend(_pad(channel, 3))
+    header.extend(_pad(network, 2))
+    header.extend(encode_btime(start_time_us))
+    header.extend(
+        _FIXED_TAIL.pack(
+            encoded,
+            sample_rate_factor,
+            sample_rate_multiplier,
+            0,  # activity flags
+            0,  # io/clock flags
+            0,  # data quality flags
+            2,  # number of blockettes
+            0,  # time correction
+            data_offset,
+            RECORD_HEADER_SIZE,
+        )
+    )
+    assert len(header) == RECORD_HEADER_SIZE
+
+    power = record_length.bit_length() - 1
+    b1000 = Blockette1000(
+        encoding=encoding, word_order=1, record_length_power=power
+    ).encode(next_offset=RECORD_HEADER_SIZE + BLOCKETTE_1000_SIZE)
+    b1001 = Blockette1001(
+        timing_quality=timing_quality,
+        microseconds=btime_residual_us(start_time_us),
+        frame_count=len(payload) // 64 if encoding in (10, 11) else 0,
+    ).encode(next_offset=0)
+
+    record = bytearray(record_length)
+    record[:RECORD_HEADER_SIZE] = header
+    record[RECORD_HEADER_SIZE:data_offset] = b1000 + b1001
+    record[data_offset : data_offset + len(payload)] = payload
+    return bytes(record), encoded
+
+
+def decode_header(data: bytes) -> RecordHeader:
+    """Decode the fixed section and walk the blockette chain (no payload).
+
+    ``data`` must contain at least the fixed header and the blockettes —
+    passing an entire record is fine; passing the first 64 bytes of a
+    standard record is also fine (header-only scans do exactly that).
+    """
+    if len(data) < RECORD_HEADER_SIZE:
+        raise CorruptRecordError(
+            f"record shorter than fixed header: {len(data)} bytes"
+        )
+    seq_raw = data[0:6]
+    try:
+        sequence_number = int(seq_raw.decode("ascii"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CorruptRecordError(f"bad sequence number field {seq_raw!r}") from exc
+    quality = chr(data[6])
+    if quality not in QUALITY_CODES:
+        raise CorruptRecordError(f"invalid quality code {quality!r}")
+    station = data[8:13].decode("ascii").strip()
+    location = data[13:15].decode("ascii").strip()
+    channel = data[15:18].decode("ascii").strip()
+    network = data[18:20].decode("ascii").strip()
+    (
+        sample_count,
+        rate_factor,
+        rate_multiplier,
+        act_flags,
+        io_flags,
+        dq_flags,
+        num_blockettes,
+        time_correction,
+        data_offset,
+        blockette_offset,
+    ) = _FIXED_TAIL.unpack_from(data, 20 + BTIME_SIZE)
+
+    encoding = -1
+    record_length = 0
+    timing_quality = 0
+    extra_us = 0
+    offset = blockette_offset
+    walked = 0
+    while offset and walked < num_blockettes:
+        btype, nxt = decode_blockette_header(data, offset)
+        if btype == 1000:
+            b1000 = decode_blockette_1000(data, offset)
+            encoding = b1000.encoding
+            record_length = b1000.record_length
+        elif btype == 1001:
+            b1001 = decode_blockette_1001(data, offset)
+            timing_quality = b1001.timing_quality
+            extra_us = b1001.microseconds
+        if nxt and nxt <= offset:
+            raise CorruptRecordError("blockette chain does not advance")
+        offset = nxt
+        walked += 1
+    if encoding < 0 or record_length == 0:
+        raise CorruptRecordError("record lacks mandatory blockette 1000")
+
+    start_time_us = decode_btime(data[20 : 20 + BTIME_SIZE], extra_us=extra_us)
+    # The time-correction field is in 0.0001 s units and applies unless the
+    # "time correction applied" activity-flag bit (0x02) is set.
+    if time_correction and not act_flags & 0x02:
+        start_time_us += time_correction * 100
+
+    return RecordHeader(
+        sequence_number=sequence_number,
+        quality=quality,
+        station=station,
+        location=location,
+        channel=channel,
+        network=network,
+        start_time_us=start_time_us,
+        sample_count=sample_count,
+        sample_rate_factor=rate_factor,
+        sample_rate_multiplier=rate_multiplier,
+        activity_flags=act_flags,
+        io_flags=io_flags,
+        quality_flags=dq_flags,
+        time_correction=time_correction,
+        data_offset=data_offset,
+        blockette_offset=blockette_offset,
+        encoding=encoding,
+        record_length=record_length,
+        timing_quality=timing_quality,
+    )
+
+
+def decode_record(data: bytes) -> MSeedRecord:
+    """Decode one full record (header + payload) into samples."""
+    header = decode_header(data)
+    if len(data) < header.record_length:
+        raise CorruptRecordError(
+            f"record truncated: {len(data)} of {header.record_length} bytes"
+        )
+    payload = data[header.data_offset : header.record_length]
+    samples = encodings.decode_payload(payload, header.sample_count, header.encoding)
+    return MSeedRecord(header=header, samples=samples)

@@ -1,0 +1,73 @@
+"""Metadata browsing and navigation — demo capability (2).
+
+Everything here touches only the metadata tables, so in lazy mode these
+run instantly regardless of repository size: "easy browsing of metadata
+and navigation in the data" (§1).
+"""
+
+from __future__ import annotations
+
+from repro.util.timefmt import format_iso8601
+
+
+def station_overview(warehouse) -> str:
+    """Networks, stations, channels and their record counts."""
+    if warehouse.mode == "external":
+        return ("(external mode has no metadata tables; browsing would "
+                "scan the entire repository)")
+    result = warehouse.query(f"""
+SELECT F.network, F.station, F.channel, COUNT(*) AS files,
+       SUM(F.n_records) AS records, MIN(F.start_time) AS coverage_start,
+       MAX(F.end_time) AS coverage_end
+FROM {warehouse.schema}.files AS F
+GROUP BY F.network, F.station, F.channel
+ORDER BY F.network, F.station, F.channel""")
+    return result.format(max_rows=100)
+
+
+def time_coverage(warehouse, network: str | None = None) -> list[dict]:
+    """Per-station time coverage from file metadata."""
+    where = f"WHERE network = '{network}'" if network else ""
+    result = warehouse.query(f"""
+SELECT network, station, MIN(start_time) AS first_sample,
+       MAX(end_time) AS last_sample, COUNT(*) AS files
+FROM {warehouse.schema}.files {where}
+GROUP BY network, station
+ORDER BY network, station""")
+    out = []
+    for network_code, station, first, last, files in result.rows():
+        out.append({
+            "network": network_code,
+            "station": station,
+            "first": format_iso8601(first),
+            "last": format_iso8601(last),
+            "files": files,
+        })
+    return out
+
+
+def file_listing(warehouse, station: str | None = None,
+                 channel: str | None = None) -> list[tuple]:
+    """Files (uri, records, span) for navigation drill-down."""
+    conditions = []
+    if station:
+        conditions.append(f"station = '{station}'")
+    if channel:
+        conditions.append(f"channel = '{channel}'")
+    where = f"WHERE {' AND '.join(conditions)}" if conditions else ""
+    result = warehouse.query(f"""
+SELECT file_location, n_records, start_time, end_time, file_size
+FROM {warehouse.schema}.files {where}
+ORDER BY file_location""")
+    return result.rows()
+
+
+def record_listing(warehouse, file_location: str) -> list[tuple]:
+    """Records of one file: the navigation leaf level."""
+    escaped = file_location.replace("'", "''")
+    result = warehouse.query(f"""
+SELECT seq_no, start_time, end_time, frequency, sample_count
+FROM {warehouse.schema}.records
+WHERE file_location = '{escaped}'
+ORDER BY seq_no""")
+    return result.rows()

@@ -1,0 +1,143 @@
+"""STA/LTA event detection — the demo's "hunt for interesting seismic
+events".
+
+§4: "Such tasks include finding extreme values over Short Term Averaging
+(STA, typically over an interval of 2 seconds) and Long Term Averaging
+(LTA, typically over an interval of 15 seconds)".  The classic detector
+compares the short-term average energy with the long-term average and
+triggers when the ratio crosses a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.timefmt import MICROS_PER_SECOND, format_iso8601
+
+
+def _moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing moving average; positions before a full window use the
+    partial prefix (so the array aligns with the input)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    cumulative = np.cumsum(np.insert(values.astype(np.float64), 0, 0.0))
+    out = np.empty(len(values), dtype=np.float64)
+    full = cumulative[window:] - cumulative[:-window]
+    out[window - 1:] = full / window
+    counts = np.arange(1, min(window, len(values) + 1))
+    out[: window - 1] = cumulative[1:window] / counts[: len(values)]
+    return out
+
+
+def sta_lta_ratio(values: np.ndarray, sample_rate: float,
+                  sta_seconds: float = 2.0,
+                  lta_seconds: float = 15.0) -> np.ndarray:
+    """Classic STA/LTA on the signal's energy (squared amplitude)."""
+    if sta_seconds >= lta_seconds:
+        raise ValueError("STA window must be shorter than LTA window")
+    energy = values.astype(np.float64) ** 2
+    sta_n = max(int(round(sta_seconds * sample_rate)), 1)
+    lta_n = max(int(round(lta_seconds * sample_rate)), sta_n + 1)
+    sta = _moving_average(energy, sta_n)
+    lta = _moving_average(energy, lta_n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(lta > 0, sta / lta, 0.0)
+    # The detector is blind until one full LTA window has passed.
+    ratio[: lta_n] = 0.0
+    return ratio
+
+
+def detect_triggers(ratio: np.ndarray, on_threshold: float = 3.5,
+                    off_threshold: float = 1.5) -> list[tuple[int, int]]:
+    """Trigger-on/off index pairs (off index is exclusive)."""
+    if off_threshold >= on_threshold:
+        raise ValueError("off threshold must be below on threshold")
+    triggers: list[tuple[int, int]] = []
+    active_from: int | None = None
+    above_on = ratio >= on_threshold
+    below_off = ratio < off_threshold
+    for index in range(len(ratio)):
+        if active_from is None:
+            if above_on[index]:
+                active_from = index
+        elif below_off[index]:
+            triggers.append((active_from, index))
+            active_from = None
+    if active_from is not None:
+        triggers.append((active_from, len(ratio)))
+    return triggers
+
+
+@dataclass(frozen=True)
+class DetectedEvent:
+    """One STA/LTA detection."""
+
+    onset_time_us: int
+    end_time_us: int
+    peak_ratio: float
+    peak_time_us: int
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_time_us - self.onset_time_us) / MICROS_PER_SECOND
+
+    def render(self) -> str:
+        return (
+            f"event at {format_iso8601(self.onset_time_us)} "
+            f"(peak ratio {self.peak_ratio:.1f}, "
+            f"duration {self.duration_s:.1f} s)"
+        )
+
+
+def detect_events(times_us: np.ndarray, values: np.ndarray,
+                  sample_rate: float, *, sta_seconds: float = 2.0,
+                  lta_seconds: float = 15.0, on_threshold: float = 3.5,
+                  off_threshold: float = 1.5) -> list[DetectedEvent]:
+    """Run the detector over one contiguous series."""
+    if len(times_us) != len(values):
+        raise ValueError("times and values must align")
+    if len(values) == 0:
+        return []
+    ratio = sta_lta_ratio(values, sample_rate, sta_seconds, lta_seconds)
+    events = []
+    for on_idx, off_idx in detect_triggers(ratio, on_threshold, off_threshold):
+        segment = ratio[on_idx:off_idx]
+        peak_offset = int(np.argmax(segment))
+        events.append(
+            DetectedEvent(
+                onset_time_us=int(times_us[on_idx]),
+                end_time_us=int(times_us[min(off_idx, len(times_us) - 1)]),
+                peak_ratio=float(segment[peak_offset]),
+                peak_time_us=int(times_us[on_idx + peak_offset]),
+            )
+        )
+    return events
+
+
+def hunt_events(warehouse, station: str, channel: str,
+                start_iso: str, end_iso: str, *,
+                sta_seconds: float = 2.0, lta_seconds: float = 15.0,
+                on_threshold: float = 3.5,
+                off_threshold: float = 1.5) -> list[DetectedEvent]:
+    """Fetch a stream window through the warehouse and run the detector.
+
+    The fetch itself is an ordinary dataview query — in lazy mode only the
+    files of this (station, channel, window) are extracted.
+    """
+    sql = f"""SELECT D.sample_time, D.sample_value, F.sample_rate
+FROM {warehouse.dataview}
+WHERE F.station = '{station}' AND F.channel = '{channel}'
+AND D.sample_time >= '{start_iso}' AND D.sample_time < '{end_iso}'
+ORDER BY D.sample_time"""
+    result = warehouse.query(sql)
+    if result.row_count == 0:
+        return []
+    times = result.columns[0].values
+    values = result.columns[1].values.astype(np.float64)
+    rate = float(result.columns[2].values[0])
+    return detect_events(times, values, rate,
+                         sta_seconds=sta_seconds, lta_seconds=lta_seconds,
+                         on_threshold=on_threshold,
+                         off_threshold=off_threshold)

@@ -1,0 +1,23 @@
+"""Shared utilities: time handling, humanised formatting, operation log."""
+
+from repro.util.timefmt import (
+    MICROS_PER_SECOND,
+    parse_iso8601,
+    format_iso8601,
+    day_of_year,
+    from_ymd,
+)
+from repro.util.human import format_bytes, format_duration
+from repro.util.oplog import OperationLog, OpEntry
+
+__all__ = [
+    "MICROS_PER_SECOND",
+    "parse_iso8601",
+    "format_iso8601",
+    "day_of_year",
+    "from_ymd",
+    "format_bytes",
+    "format_duration",
+    "OperationLog",
+    "OpEntry",
+]

@@ -1,0 +1,45 @@
+"""Humanised formatting for sizes and durations, used by demo/bench output."""
+
+from __future__ import annotations
+
+_BYTE_UNITS = ["B", "KiB", "MiB", "GiB", "TiB"]
+
+
+def format_bytes(count: float) -> str:
+    """Render a byte count like ``3.2 MiB`` (two significant decimals)."""
+    value = float(count)
+    for unit in _BYTE_UNITS:
+        if abs(value) < 1024.0 or unit == _BYTE_UNITS[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration like ``1.24 s``, ``380 ms`` or ``12.5 us``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds >= 60.0:
+        minutes = int(seconds // 60)
+        return f"{minutes}m{seconds - 60 * minutes:04.1f}s"
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table (paper-style bench output)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    rule = "  ".join("-" * w for w in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Structured operation log — demo capability (8).
+
+The paper's GUI lets the audience "look through the log to see what
+operations are performed and in which order".  :class:`OperationLog` is the
+library-wide equivalent: subsystems append :class:`OpEntry` records
+(category + message + structured detail), and the demo/examples render them.
+
+The log is intentionally append-only and cheap; it is also what the test
+suite inspects to assert *behavioural* properties such as "a cache hit
+performs no file extraction".
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class OpEntry:
+    """One logged operation."""
+
+    seq: int
+    wall_time: float
+    category: str
+    message: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = ""
+        if self.detail:
+            pairs = ", ".join(f"{k}={v}" for k, v in self.detail.items())
+            extras = f"  [{pairs}]"
+        return f"#{self.seq:05d} {self.category:<12} {self.message}{extras}"
+
+
+class OperationLog:
+    """Append-only structured log shared by the engine and the ETL layer."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._entries: list[OpEntry] = []
+        self._clock = clock
+        self._counter = itertools.count(1)
+        self._listeners: list[Callable[[OpEntry], None]] = []
+
+    def record(self, category: str, message: str, **detail: Any) -> OpEntry:
+        """Append one entry and return it."""
+        entry = OpEntry(
+            seq=next(self._counter),
+            wall_time=self._clock(),
+            category=category,
+            message=message,
+            detail=detail,
+        )
+        self._entries.append(entry)
+        for listener in self._listeners:
+            listener(entry)
+        return entry
+
+    def subscribe(self, listener: Callable[[OpEntry], None]) -> None:
+        """Register a callback invoked for every new entry (demo live view)."""
+        self._listeners.append(listener)
+
+    def entries(self, category: str | None = None) -> list[OpEntry]:
+        """All entries, optionally filtered by category."""
+        if category is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.category == category]
+
+    def categories(self) -> list[str]:
+        """Distinct categories in first-seen order."""
+        seen: dict[str, None] = {}
+        for entry in self._entries:
+            seen.setdefault(entry.category, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def tail(self, count: int = 20) -> list[OpEntry]:
+        """The most recent ``count`` entries."""
+        return self._entries[-count:]
+
+    def render(self, category: str | None = None) -> str:
+        """Human-readable rendering of the (filtered) log."""
+        return "\n".join(e.render() for e in self.entries(category))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[OpEntry]:
+        return iter(self._entries)

@@ -1,0 +1,98 @@
+"""Time representation used throughout the warehouse.
+
+All timestamps are integer **microseconds since the Unix epoch (UTC)**.
+Integer microseconds keep sample-time arithmetic exact: an mSEED record's
+per-sample timestamps are ``start + round(i * 1e6 / rate)``, which a float
+representation would corrupt for long series.
+
+The SQL layer stores TIMESTAMP columns as int64 microsecond arrays; the
+mSEED layer converts BTIME fields through :func:`from_ymd`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+MICROS_PER_SECOND = 1_000_000
+MICROS_PER_DAY = 86_400 * MICROS_PER_SECOND
+
+_EPOCH = _dt.datetime(1970, 1, 1, tzinfo=_dt.timezone.utc)
+
+
+def from_ymd(
+    year: int,
+    month: int,
+    day: int,
+    hour: int = 0,
+    minute: int = 0,
+    second: int = 0,
+    microsecond: int = 0,
+) -> int:
+    """Convert a calendar date/time (UTC) to epoch microseconds."""
+    moment = _dt.datetime(
+        year, month, day, hour, minute, second, microsecond, tzinfo=_dt.timezone.utc
+    )
+    return int((moment - _EPOCH) / _dt.timedelta(microseconds=1))
+
+
+def from_yday(year: int, yday: int, hour: int = 0, minute: int = 0,
+              second: int = 0, microsecond: int = 0) -> int:
+    """Convert a (year, day-of-year) date — SEED's native form — to epoch us."""
+    base = _dt.datetime(year, 1, 1, tzinfo=_dt.timezone.utc) + _dt.timedelta(days=yday - 1)
+    moment = base.replace(hour=hour, minute=minute, second=second, microsecond=microsecond)
+    return int((moment - _EPOCH) / _dt.timedelta(microseconds=1))
+
+
+def to_datetime(micros: int) -> _dt.datetime:
+    """Convert epoch microseconds to an aware UTC datetime."""
+    return _EPOCH + _dt.timedelta(microseconds=int(micros))
+
+
+def day_of_year(micros: int) -> tuple[int, int]:
+    """Return ``(year, day_of_year)`` for an epoch-microsecond timestamp."""
+    moment = to_datetime(micros)
+    return moment.year, moment.timetuple().tm_yday
+
+
+def parse_iso8601(text: str) -> int:
+    """Parse an ISO-8601 timestamp or date into epoch microseconds.
+
+    Accepts the forms used by the paper's queries, e.g.
+    ``2010-01-12T22:15:00.000``, ``2010-01-12 22:15:00``, ``2010-01-12``.
+    A trailing ``Z`` or explicit offset is honoured; naive stamps are UTC.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty timestamp literal")
+    normalized = text.replace(" ", "T", 1) if " " in text and "T" not in text else text
+    if normalized.endswith("Z"):
+        normalized = normalized[:-1] + "+00:00"
+    try:
+        if "T" in normalized:
+            moment = _dt.datetime.fromisoformat(normalized)
+        else:
+            moment = _dt.datetime.fromisoformat(normalized + "T00:00:00")
+    except ValueError as exc:
+        raise ValueError(f"invalid timestamp literal {text!r}") from exc
+    if moment.tzinfo is None:
+        moment = moment.replace(tzinfo=_dt.timezone.utc)
+    return int((moment - _EPOCH) / _dt.timedelta(microseconds=1))
+
+
+def format_iso8601(micros: int, *, millis: bool = True) -> str:
+    """Format epoch microseconds as ``YYYY-MM-DDTHH:MM:SS.mmm`` (UTC).
+
+    With ``millis=False`` the full microsecond precision is printed.
+    """
+    moment = to_datetime(int(micros))
+    base = moment.strftime("%Y-%m-%dT%H:%M:%S")
+    if millis:
+        return f"{base}.{moment.microsecond // 1000:03d}"
+    return f"{base}.{moment.microsecond:06d}"
+
+
+def sample_interval_us(rate_hz: float) -> float:
+    """Microseconds between consecutive samples at ``rate_hz``."""
+    if rate_hz <= 0:
+        raise ValueError(f"sample rate must be positive, got {rate_hz}")
+    return MICROS_PER_SECOND / rate_hz

@@ -1,0 +1,152 @@
+"""Aggregate execution tests, including nulls, DISTINCT and empty inputs."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE m (grp VARCHAR, val BIGINT, weight DOUBLE)")
+    database.execute("""INSERT INTO m VALUES
+        ('a', 1, 1.0), ('a', 2, 2.0), ('a', NULL, 3.0),
+        ('b', 5, 1.5), ('b', 5, 2.5), (NULL, 7, 0.5)""")
+    return database
+
+
+def test_global_aggregates(db):
+    row = db.query(
+        "SELECT COUNT(*), COUNT(val), SUM(val), AVG(val), MIN(val), MAX(val) "
+        "FROM m").first()
+    assert row == (6, 5, 20, 4.0, 1, 7)
+
+
+def test_group_by_with_nulls_as_group(db):
+    rows = db.query(
+        "SELECT grp, COUNT(*) FROM m GROUP BY grp ORDER BY grp").rows()
+    # NULL group sorts last (NULLS LAST ordering).
+    assert rows == [("a", 3), ("b", 2), (None, 1)]
+
+
+def test_aggregates_skip_nulls(db):
+    rows = db.query(
+        "SELECT grp, COUNT(val), AVG(val) FROM m GROUP BY grp "
+        "ORDER BY grp").rows()
+    assert rows[0] == ("a", 2, 1.5)
+
+
+def test_min_max_varchar(db):
+    row = db.query("SELECT MIN(grp), MAX(grp) FROM m").first()
+    assert row == ("a", "b")
+
+
+def test_count_distinct_and_sum_distinct(db):
+    row = db.query(
+        "SELECT COUNT(DISTINCT val), SUM(DISTINCT val) FROM m").first()
+    assert row == (4, 15)  # 1, 2, 5, 7
+
+
+def test_stddev_and_median(db):
+    row = db.query(
+        "SELECT MEDIAN(val), STDDEV_SAMP(val) FROM m WHERE grp = 'b'"
+    ).first()
+    assert row[0] == 5.0
+    assert row[1] == 0.0
+    spread = db.query("SELECT STDDEV_SAMP(val) FROM m").scalar()
+    assert spread == pytest.approx(np.std([1, 2, 5, 5, 7], ddof=1))
+
+
+def test_stddev_single_row_is_null(db):
+    value = db.query(
+        "SELECT STDDEV_SAMP(val) FROM m WHERE val = 7").scalar()
+    assert value is None
+
+
+def test_empty_input_global(db):
+    row = db.query(
+        "SELECT COUNT(*), SUM(val), MIN(val), AVG(val) FROM m "
+        "WHERE grp = 'zzz'").first()
+    assert row == (0, None, None, None)
+
+
+def test_empty_input_grouped(db):
+    rows = db.query(
+        "SELECT grp, COUNT(*) FROM m WHERE grp = 'zzz' GROUP BY grp").rows()
+    assert rows == []
+
+
+def test_having(db):
+    rows = db.query(
+        "SELECT grp, COUNT(*) AS n FROM m GROUP BY grp "
+        "HAVING COUNT(*) > 1 ORDER BY grp").rows()
+    assert rows == [("a", 3), ("b", 2)]
+
+
+def test_group_by_expression(db):
+    rows = db.query(
+        "SELECT val % 2, COUNT(*) FROM m WHERE val IS NOT NULL "
+        "GROUP BY val % 2 ORDER BY 1").rows()
+    assert rows == [(0, 1), (1, 4)]
+
+
+def test_aggregate_of_expression(db):
+    value = db.query("SELECT SUM(val * 2) FROM m").scalar()
+    assert value == 40
+
+
+def test_expression_over_aggregates(db):
+    value = db.query("SELECT MAX(val) - MIN(val) FROM m").scalar()
+    assert value == 6
+
+
+def test_order_by_aggregate(db):
+    rows = db.query(
+        "SELECT grp, SUM(weight) FROM m GROUP BY grp "
+        "ORDER BY SUM(weight) DESC").rows()
+    assert rows[0][0] == "a"
+
+
+def test_non_grouped_column_rejected(db):
+    from repro.errors import BindError
+
+    with pytest.raises(BindError):
+        db.query("SELECT grp, val FROM m GROUP BY grp")
+    with pytest.raises(BindError):
+        db.query("SELECT val, COUNT(*) FROM m")
+
+
+def test_having_without_group_rejected(db):
+    from repro.errors import BindError
+
+    with pytest.raises(BindError):
+        db.query("SELECT val FROM m HAVING val > 1")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["x", "y", "z"]),
+              st.integers(-1000, 1000)),
+    min_size=1, max_size=60,
+))
+def test_grouped_sum_matches_python(rows):
+    """Property: grouped SUM/COUNT/MIN/MAX agree with a Python reference."""
+    db = Database(enable_recycler=False)
+    db.execute("CREATE TABLE t (g VARCHAR, v BIGINT)")
+    values = ", ".join(f"('{g}', {v})" for g, v in rows)
+    db.execute(f"INSERT INTO t VALUES {values}")
+    got = db.query(
+        "SELECT g, SUM(v), COUNT(*), MIN(v), MAX(v) FROM t "
+        "GROUP BY g ORDER BY g").rows()
+    expected = {}
+    for g, v in rows:
+        expected.setdefault(g, []).append(v)
+    assert got == [
+        (g, sum(vs), len(vs), min(vs), max(vs))
+        for g, vs in sorted(expected.items())
+    ]

@@ -1,0 +1,61 @@
+"""Tests for the benchmark support package (workloads + reporting)."""
+
+from repro.bench.reporting import ExperimentTable
+from repro.bench.workload import (
+    SCALES,
+    build_scaled_repo,
+    full_stream_query,
+    shared_demo_repo,
+    stream_window_queries,
+)
+
+
+def test_scales_are_ordered():
+    assert SCALES["S"].n_files < SCALES["M"].n_files < SCALES["L"].n_files
+
+
+def test_build_scaled_repo_is_memoised():
+    root_a, manifest_a = build_scaled_repo(SCALES["S"])
+    root_b, manifest_b = build_scaled_repo(SCALES["S"])
+    assert root_a == root_b
+    assert manifest_a is manifest_b
+    assert len(manifest_a.entries) == SCALES["S"].n_files
+
+
+def test_shared_demo_repo_shape():
+    _root, manifest = shared_demo_repo()
+    assert len(manifest.entries) == 54  # 9 stations x 3 channels x 2 files
+
+
+def test_stream_window_queries_deterministic():
+    _root, manifest = shared_demo_repo()
+    first = stream_window_queries(manifest, 5, seed=3)
+    second = stream_window_queries(manifest, 5, seed=3)
+    assert first == second
+    assert len(first) == 5
+    assert all("sample_time" in q for q in first)
+
+
+def test_stream_window_queries_run(lazy_wh, demo_repo):
+    for sql in stream_window_queries(demo_repo, 3, seed=1):
+        result = lazy_wh.query(sql)
+        assert result.row_count == 1
+
+
+def test_full_stream_query_runs(lazy_wh):
+    result = lazy_wh.query(full_stream_query("HGN", "BHZ"))
+    low, high, count = result.first()
+    assert count > 0 and low <= high
+
+
+def test_experiment_table_render_and_markdown():
+    table = ExperimentTable("E0", "demo", ["a", "b"])
+    table.add_row(1, "x")
+    table.add_row(2, "y")
+    table.add_note("a note")
+    text = table.render()
+    assert "[E0] demo" in text and "a note" in text
+    markdown = table.markdown()
+    assert markdown.startswith("### E0")
+    assert "| a | b |" in markdown
+    assert "- a note" in markdown

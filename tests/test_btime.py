@@ -1,0 +1,72 @@
+"""Tests for the SEED BTIME codec."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptRecordError
+from repro.mseed.btime import (
+    BTIME_SIZE,
+    btime_residual_us,
+    decode_btime,
+    encode_btime,
+)
+from repro.util.timefmt import from_ymd
+
+
+def test_encode_size_and_roundtrip():
+    stamp = from_ymd(2010, 1, 12, 22, 15, 2, 123400)
+    blob = encode_btime(stamp)
+    assert len(blob) == BTIME_SIZE
+    # BTIME resolution is 100 us; the residual travels separately.
+    assert decode_btime(blob) == stamp - stamp % 100
+    assert decode_btime(blob, extra_us=btime_residual_us(stamp)) == stamp
+
+
+def test_residual():
+    stamp = from_ymd(2010, 1, 12) + 123_456
+    assert btime_residual_us(stamp) == 56
+
+
+def test_decode_rejects_short_buffer():
+    with pytest.raises(CorruptRecordError):
+        decode_btime(b"\x00" * 5)
+
+
+def test_decode_rejects_bad_fields():
+    good = bytearray(encode_btime(from_ymd(2010, 1, 12)))
+    bad_yday = bytearray(good)
+    bad_yday[2:4] = (400).to_bytes(2, "big")
+    with pytest.raises(CorruptRecordError):
+        decode_btime(bytes(bad_yday))
+    bad_hour = bytearray(good)
+    bad_hour[4] = 25
+    with pytest.raises(CorruptRecordError):
+        decode_btime(bytes(bad_hour))
+    bad_tenk = bytearray(good)
+    bad_tenk[8:10] = (10_000).to_bytes(2, "big")
+    with pytest.raises(CorruptRecordError):
+        decode_btime(bytes(bad_tenk))
+
+
+def test_leap_second_folds_forward():
+    # second == 60 is legal SEED; we fold it into the next minute.
+    blob = bytearray(encode_btime(from_ymd(2012, 6, 30, 23, 59, 59)))
+    blob[6] = 60  # the 'second' byte of BTIME
+    decoded = decode_btime(bytes(blob))
+    assert decoded == from_ymd(2012, 7, 1, 0, 0, 0)
+
+
+@given(
+    st.datetimes(
+        min_value=dt.datetime(1971, 1, 1),
+        max_value=dt.datetime(2090, 12, 31),
+    )
+)
+def test_btime_roundtrip_property(moment):
+    stamp = from_ymd(moment.year, moment.month, moment.day, moment.hour,
+                     moment.minute, moment.second, moment.microsecond)
+    rebuilt = decode_btime(encode_btime(stamp),
+                           extra_us=btime_residual_us(stamp))
+    assert rebuilt == stamp

@@ -1,0 +1,100 @@
+"""Tests for the typed column abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.column import Column
+from repro.db.types import DataType
+from repro.errors import ExecutionError
+
+
+def test_from_values_with_nulls():
+    col = Column.from_values(DataType.BIGINT, [1, None, 3])
+    assert len(col) == 3
+    assert col.has_nulls
+    assert col.to_pylist() == [1, None, 3]
+
+
+def test_from_values_varchar():
+    col = Column.from_values(DataType.VARCHAR, ["a", None, "c"])
+    assert col.to_pylist() == ["a", None, "c"]
+
+
+def test_constant_and_nulls():
+    const = Column.constant(DataType.DOUBLE, 1.5, 4)
+    assert const.to_pylist() == [1.5] * 4
+    nulls = Column.nulls(DataType.VARCHAR, 3)
+    assert nulls.to_pylist() == [None] * 3
+    assert Column.constant(DataType.BIGINT, None, 2).to_pylist() == [None, None]
+
+
+def test_take_filter_slice_preserve_nulls():
+    col = Column.from_values(DataType.BIGINT, [10, None, 30, 40])
+    taken = col.take(np.array([3, 1]))
+    assert taken.to_pylist() == [40, None]
+    filtered = col.filter(np.array([True, True, False, False]))
+    assert filtered.to_pylist() == [10, None]
+    assert col.slice(1, 3).to_pylist() == [None, 30]
+
+
+def test_concat():
+    a = Column.from_values(DataType.BIGINT, [1, 2])
+    b = Column.from_values(DataType.BIGINT, [None, 4])
+    merged = Column.concat([a, b])
+    assert merged.to_pylist() == [1, 2, None, 4]
+    with pytest.raises(ExecutionError):
+        Column.concat([])
+    with pytest.raises(ExecutionError):
+        Column.concat([a, Column.from_values(DataType.DOUBLE, [1.0])])
+
+
+def test_with_nulls_at():
+    col = Column.from_values(DataType.BIGINT, [1, 2, 3])
+    masked = col.with_nulls_at(np.array([False, True, False]))
+    assert masked.to_pylist() == [1, None, 3]
+
+
+def test_factorize_orders_and_nulls():
+    col = Column.from_values(DataType.VARCHAR, ["b", "a", None, "b"])
+    codes, count = col.factorize()
+    assert count >= 2
+    assert codes[0] == codes[3]
+    assert codes[2] == -1
+    assert codes[1] < codes[0]  # 'a' sorts before 'b'
+
+
+def test_memory_bytes_varchar_counts_payload():
+    small = Column.from_values(DataType.VARCHAR, ["x"])
+    large = Column.from_values(DataType.VARCHAR, ["x" * 1000])
+    assert large.memory_bytes() > small.memory_bytes() + 900
+
+
+def test_value_at_types():
+    col = Column.from_values(DataType.BOOLEAN, [True, False])
+    assert col.value_at(0) is True
+    ts = Column.from_values(DataType.TIMESTAMP, [12345])
+    assert isinstance(ts.value_at(0), int)
+
+
+def test_mismatched_mask_rejected():
+    with pytest.raises(ExecutionError):
+        Column(DataType.BIGINT, np.array([1, 2]), np.array([True]))
+
+
+@given(st.lists(st.one_of(st.integers(-1000, 1000), st.none()),
+                min_size=1, max_size=50))
+def test_take_identity_property(values):
+    col = Column.from_values(DataType.BIGINT, values)
+    identity = col.take(np.arange(len(values)))
+    assert identity.to_pylist() == col.to_pylist()
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+       st.lists(st.booleans(), min_size=1, max_size=50))
+def test_filter_matches_python(values, mask_bits):
+    size = min(len(values), len(mask_bits))
+    col = Column.from_values(DataType.BIGINT, values[:size])
+    mask = np.array(mask_bits[:size])
+    expected = [v for v, keep in zip(values[:size], mask_bits[:size]) if keep]
+    assert col.filter(mask).to_pylist() == expected

@@ -1,0 +1,116 @@
+"""INSERT / DELETE / UPDATE and constraint enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.db import Database
+from repro.errors import ConstraintError, ExecutionError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("""CREATE TABLE t (
+        id BIGINT PRIMARY KEY, name VARCHAR NOT NULL, score DOUBLE)""")
+    return database
+
+
+def test_insert_and_count(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', NULL)")
+    assert db.query("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+def test_insert_column_subset_fills_nulls(db):
+    db.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
+    assert db.query("SELECT score FROM t").scalar() is None
+
+
+def test_primary_key_enforced(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 0.0)")
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO t VALUES (1, 'dup', 0.0)")
+
+
+def test_pk_duplicate_within_batch(db):
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO t VALUES (5, 'x', 0.0), (5, 'y', 0.0)")
+
+
+def test_not_null_enforced(db):
+    with pytest.raises(ConstraintError):
+        db.execute("INSERT INTO t VALUES (1, NULL, 0.0)")
+
+
+def test_delete_where(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0)")
+    status = db.execute("DELETE FROM t WHERE id = 1")
+    assert "1 rows" in status.scalar()
+    assert db.query("SELECT name FROM t").rows() == [("b",)]
+    # The freed PK value is reusable.
+    db.execute("INSERT INTO t VALUES (1, 'again', 0.0)")
+
+
+def test_delete_all(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0)")
+    db.execute("DELETE FROM t")
+    assert db.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+def test_update(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 1.0), (2, 'b', 2.0)")
+    db.execute("UPDATE t SET score = score * 10 WHERE name = 'a'")
+    rows = db.query("SELECT score FROM t ORDER BY id").rows()
+    assert rows == [(10.0,), (2.0,)]
+
+
+def test_update_pk_rejected(db):
+    db.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+    with pytest.raises(ConstraintError):
+        db.execute("UPDATE t SET id = 9")
+
+
+def test_insert_arity_mismatch(db):
+    with pytest.raises(ExecutionError):
+        db.execute("INSERT INTO t VALUES (1, 'a')")
+
+
+def test_bulk_insert_and_versioning(db):
+    table = db.table("main.t")
+    version = table.version
+    db.bulk_insert(("main", "t"), {
+        "id": np.arange(5, dtype=np.int64),
+        "name": ["n" + str(i) for i in range(5)],
+        "score": np.linspace(0, 1, 5),
+    })
+    assert db.query("SELECT COUNT(*) FROM t").scalar() == 5
+    assert table.version > version
+
+
+def test_bulk_insert_missing_column(db):
+    with pytest.raises(ExecutionError):
+        db.bulk_insert(("main", "t"), {"id": [1]})
+
+
+def test_foreign_key_validation():
+    db = Database()
+    db.execute("CREATE TABLE parent (pid BIGINT PRIMARY KEY)")
+    db.execute("""CREATE TABLE child (
+        cid BIGINT PRIMARY KEY, pid BIGINT,
+        FOREIGN KEY (pid) REFERENCES parent (pid))""")
+    db.execute("INSERT INTO parent VALUES (1)")
+    db.execute("INSERT INTO child VALUES (10, 1), (11, NULL)")
+    child = db.table("main.child")
+    child.validate_foreign_keys(lambda name: db.table(name))
+    db.execute("INSERT INTO child VALUES (12, 99)")
+    with pytest.raises(ConstraintError):
+        child.validate_foreign_keys(lambda name: db.table(name))
+
+
+def test_timestamp_coercion_on_insert():
+    db = Database()
+    db.execute("CREATE TABLE e (at TIMESTAMP)")
+    db.execute("INSERT INTO e VALUES ('2010-01-12T22:15:00.000')")
+    from repro.util.timefmt import from_ymd
+
+    assert db.query("SELECT at FROM e").scalar() == \
+        from_ymd(2010, 1, 12, 22, 15)

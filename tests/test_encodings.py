@@ -1,0 +1,67 @@
+"""Tests for the payload-encoding registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedEncodingError
+from repro.mseed import encodings
+
+
+@pytest.mark.parametrize("code,dtype", [
+    (encodings.ENC_INT16, np.int32),
+    (encodings.ENC_INT32, np.int32),
+    (encodings.ENC_FLOAT32, np.float32),
+    (encodings.ENC_FLOAT64, np.float64),
+])
+def test_plain_roundtrip(code, dtype):
+    samples = np.array([-5, 0, 7, 1000, -999], dtype=np.int64)
+    payload, count = encodings.encode_payload(samples, code, 4096)
+    assert count == len(samples)
+    decoded = encodings.decode_payload(payload, count, code)
+    assert decoded.dtype == dtype
+    assert np.allclose(decoded, samples)
+
+
+def test_steim_codes_route_to_steim():
+    samples = np.arange(100, dtype=np.int32)
+    payload, count = encodings.encode_payload(
+        samples, encodings.ENC_STEIM2, 448
+    )
+    decoded = encodings.decode_payload(payload, count, encodings.ENC_STEIM2)
+    assert np.array_equal(decoded, samples[:count])
+
+
+def test_capacity_limits_plain():
+    samples = np.arange(100, dtype=np.int64)
+    payload, count = encodings.encode_payload(samples, encodings.ENC_INT32, 40)
+    assert count == 10
+    assert len(payload) == 40
+
+
+def test_int16_range_check():
+    with pytest.raises(UnsupportedEncodingError):
+        encodings.encode_payload(np.array([70_000]), encodings.ENC_INT16, 100)
+
+
+def test_unknown_encoding_rejected():
+    with pytest.raises(UnsupportedEncodingError):
+        encodings.decode_payload(b"\x00" * 8, 1, 99)
+    with pytest.raises(UnsupportedEncodingError):
+        encodings.encode_payload(np.array([1]), 99, 100)
+
+
+def test_short_payload_rejected():
+    with pytest.raises(UnsupportedEncodingError):
+        encodings.decode_payload(b"\x00\x01", 5, encodings.ENC_INT32)
+
+
+def test_tiny_capacity_rejected():
+    with pytest.raises(UnsupportedEncodingError):
+        encodings.encode_payload(np.array([1]), encodings.ENC_STEIM2, 32)
+    with pytest.raises(UnsupportedEncodingError):
+        encodings.encode_payload(np.array([1]), encodings.ENC_INT32, 2)
+
+
+def test_encoding_names():
+    assert encodings.encoding_name(encodings.ENC_STEIM2) == "STEIM2"
+    assert encodings.encoding_name(1234) == "UNKNOWN(1234)"

@@ -1,0 +1,159 @@
+"""Expression evaluation details: three-valued logic, functions, casts."""
+
+import pytest
+
+from repro.db import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE v (a BIGINT, b BIGINT, s VARCHAR, "
+                     "at TIMESTAMP)")
+    database.execute("""INSERT INTO v VALUES
+        (1, 10, 'alpha', '2010-01-12T22:00:00'),
+        (NULL, 20, 'Beta', '2010-06-30T01:02:03'),
+        (3, NULL, 'gamma', NULL)""")
+    return database
+
+
+def test_kleene_and_or(db):
+    # NULL AND FALSE = FALSE (row survives NOT ...), NULL AND TRUE = NULL.
+    rows = db.query(
+        "SELECT COUNT(*) FROM v WHERE a > 0 AND b > 0").scalar()
+    assert rows == 1
+    rows = db.query(
+        "SELECT COUNT(*) FROM v WHERE a > 0 OR b > 0").scalar()
+    assert rows == 3  # (1,10) true; (NULL,20) true via OR; (3,NULL) true
+
+
+def test_not_of_null_is_null(db):
+    assert db.query(
+        "SELECT COUNT(*) FROM v WHERE NOT (a > 0)").scalar() == 0
+
+
+def test_arithmetic_null_propagation(db):
+    rows = db.query("SELECT a + b FROM v ORDER BY at").rows()
+    assert rows[0] == (11,)
+    assert rows[1] == (None,)
+
+
+def test_modulo_and_unary_minus(db):
+    assert db.query("SELECT -a % 2 FROM v WHERE a = 3").scalar() == 1
+    assert db.query("SELECT b % 7 FROM v WHERE b = 20").scalar() == 6
+
+
+def test_timestamp_arithmetic(db):
+    # timestamp - timestamp is BIGINT microseconds
+    diff = db.query(
+        "SELECT MAX(at) - MIN(at) FROM v WHERE at IS NOT NULL").scalar()
+    assert diff > 0
+    shifted = db.query(
+        "SELECT at + 1000000 FROM v WHERE s = 'alpha'").scalar()
+    base = db.query("SELECT at FROM v WHERE s = 'alpha'").scalar()
+    assert shifted == base + 1_000_000
+
+
+def test_timestamp_parts(db):
+    row = db.query(
+        "SELECT YEAR(at), MONTH(at), DAY(at), HOUR(at), MINUTE(at), "
+        "SECOND(at) FROM v WHERE s = 'Beta'").first()
+    assert row == (2010, 6, 30, 1, 2, 3)
+
+
+def test_epoch_us(db):
+    value = db.query(
+        "SELECT EPOCH_US(at) FROM v WHERE s = 'alpha'").scalar()
+    from repro.util.timefmt import from_ymd
+
+    assert value == from_ymd(2010, 1, 12, 22)
+
+
+def test_string_functions(db):
+    row = db.query(
+        "SELECT LOWER(s), UPPER(s), LENGTH(s), SUBSTR(s, 2, 3) "
+        "FROM v WHERE s = 'Beta'").first()
+    assert row == ("beta", "BETA", 4, "eta")
+
+
+def test_trim_and_concat(db):
+    assert db.query("SELECT TRIM('  x  ') FROM v LIMIT 1").scalar() == "x"
+    assert db.query(
+        "SELECT CONCAT(s, '-', s) FROM v WHERE s = 'gamma'").scalar() == \
+        "gamma-gamma"
+
+
+def test_math_functions(db):
+    row = db.query(
+        "SELECT SQRT(CAST(b AS DOUBLE)), FLOOR(1.7), CEIL(1.2), "
+        "ROUND(1.2345, 2) FROM v WHERE b = 10").first()
+    assert row[0] == pytest.approx(10 ** 0.5)
+    assert row[1:] == (1.0, 2.0, 1.23)
+
+
+def test_ln_exp_log10(db):
+    row = db.query(
+        "SELECT LN(EXP(2.0)), LOG10(100.0) FROM v LIMIT 1").first()
+    assert row[0] == pytest.approx(2.0)
+    assert row[1] == pytest.approx(2.0)
+
+
+def test_greatest_least(db):
+    row = db.query(
+        "SELECT GREATEST(a, 2), LEAST(b, 15) FROM v WHERE a = 1").first()
+    assert row == (2, 10)
+
+
+def test_cast_varieties(db):
+    assert db.query(
+        "SELECT CAST('42' AS BIGINT) FROM v LIMIT 1").scalar() == 42
+    assert db.query(
+        "SELECT CAST(1 AS DOUBLE) / 2 FROM v LIMIT 1").scalar() == 0.5
+    assert db.query(
+        "SELECT CAST('2010-01-12T00:00:00' AS TIMESTAMP) FROM v LIMIT 1"
+    ).scalar() == 1263254400000000
+    text = db.query(
+        "SELECT CAST(at AS VARCHAR) FROM v WHERE s = 'alpha'").scalar()
+    assert text.startswith("2010-01-12T22")
+
+
+def test_like_wildcards(db):
+    rows = db.query("SELECT s FROM v WHERE s LIKE '%a'").rows()
+    assert set(r[0] for r in rows) == {"alpha", "Beta", "gamma"}
+    rows = db.query("SELECT s FROM v WHERE s LIKE 'g_mma'").rows()
+    assert rows == [("gamma",)]
+    rows = db.query("SELECT s FROM v WHERE s NOT LIKE '%a%'").rows()
+    assert rows == []
+
+
+def test_in_list_with_null_operand(db):
+    rows = db.query("SELECT COUNT(*) FROM v WHERE a IN (1, 3)").scalar()
+    assert rows == 2
+
+
+def test_between_on_timestamps(db):
+    count = db.query(
+        "SELECT COUNT(*) FROM v WHERE at BETWEEN '2010-01-01T00:00:00' "
+        "AND '2010-02-01T00:00:00'").scalar()
+    assert count == 1
+
+
+def test_unknown_function_rejected(db):
+    from repro.errors import BindError
+
+    with pytest.raises(BindError):
+        db.query("SELECT FROBNICATE(a) FROM v")
+
+
+def test_function_arity_checked(db):
+    from repro.errors import BindError
+
+    with pytest.raises(BindError):
+        db.query("SELECT ABS(a, b) FROM v")
+
+
+def test_aggregate_in_where_rejected(db):
+    from repro.errors import BindError
+
+    with pytest.raises(BindError):
+        db.query("SELECT a FROM v WHERE SUM(a) > 1")

@@ -1,0 +1,121 @@
+"""Tests for the record-grain extraction cache (§3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ETLError
+from repro.etl.cache import ExtractionCache
+
+
+def _cols(n=10, names=("sample_time", "sample_value")):
+    return {name: np.arange(n, dtype=np.int64) for name in names}
+
+
+def test_miss_then_hit():
+    cache = ExtractionCache()
+    assert cache.get("f1", 1, ["sample_value"]) is None
+    cache.put("f1", 1, 100, _cols())
+    got = cache.get("f1", 1, ["sample_value"])
+    assert got is not None
+    assert list(got) == ["sample_value"]
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_partial_columns_is_miss_then_widen():
+    cache = ExtractionCache()
+    cache.put("f1", 1, 100, _cols(names=("sample_value",)))
+    assert cache.get("f1", 1, ["sample_time"]) is None
+    cache.put("f1", 1, 100, _cols(names=("sample_time",)))
+    # Widened entry now serves both columns.
+    assert cache.get("f1", 1, ["sample_time", "sample_value"]) is not None
+    assert cache.stats.widenings == 1
+
+
+def test_staleness_validate_file():
+    cache = ExtractionCache()
+    cache.put("f1", 1, mtime_ns=100, columns=_cols())
+    cache.put("f1", 2, mtime_ns=100, columns=_cols())
+    assert cache.validate_file("f1", 100)  # unchanged
+    assert len(cache) == 2
+    assert not cache.validate_file("f1", 200)  # newer mtime: stale
+    assert len(cache) == 0
+    assert cache.stats.stale_drops == 2
+    # Unknown files are trivially valid.
+    assert cache.validate_file("ghost", 5)
+
+
+def test_lru_eviction_order():
+    entry_bytes = sum(a.nbytes for a in _cols().values())
+    cache = ExtractionCache(budget_bytes=entry_bytes * 2)
+    cache.put("f", 1, 1, _cols())
+    cache.put("f", 2, 1, _cols())
+    cache.get("f", 1, ["sample_value"])  # touch 1
+    cache.put("f", 3, 1, _cols())
+    assert ("f", 2) not in cache
+    assert ("f", 1) in cache and ("f", 3) in cache
+
+
+def test_fifo_eviction_order():
+    entry_bytes = sum(a.nbytes for a in _cols().values())
+    cache = ExtractionCache(budget_bytes=entry_bytes * 2, policy="fifo")
+    cache.put("f", 1, 1, _cols())
+    cache.put("f", 2, 1, _cols())
+    cache.get("f", 1, ["sample_value"])
+    cache.put("f", 3, 1, _cols())
+    assert ("f", 1) not in cache
+
+
+def test_cost_policy_prefers_keeping_expensive():
+    entry_bytes = sum(a.nbytes for a in _cols().values())
+    cache = ExtractionCache(budget_bytes=entry_bytes * 2, policy="cost")
+    cache.put("f", 1, 1, _cols(), cost_estimate=100.0)
+    cache.put("f", 2, 1, _cols(), cost_estimate=0.001)
+    cache.put("f", 3, 1, _cols(), cost_estimate=50.0)
+    assert ("f", 2) not in cache  # cheapest to recompute was evicted
+    assert ("f", 1) in cache
+
+
+def test_budget_never_exceeded():
+    entry_bytes = sum(a.nbytes for a in _cols().values())
+    cache = ExtractionCache(budget_bytes=entry_bytes * 3 + 8)
+    for seq in range(20):
+        cache.put("f", seq, 1, _cols())
+        assert cache.used_bytes <= cache.budget_bytes
+
+
+def test_oversized_entry_not_admitted():
+    cache = ExtractionCache(budget_bytes=16)
+    assert not cache.put("f", 1, 1, _cols(n=1000))
+    assert len(cache) == 0
+
+
+def test_epoch_advances_on_mutation():
+    cache = ExtractionCache()
+    epoch = cache.epoch
+    cache.put("f", 1, 1, _cols())
+    assert cache.epoch > epoch
+    epoch = cache.epoch
+    cache.invalidate_file("f")
+    assert cache.epoch > epoch
+
+
+def test_contents_and_render():
+    cache = ExtractionCache()
+    cache.put("f1", 1, 1, _cols())
+    cache.get("f1", 1, ["sample_value"])
+    contents = cache.contents()
+    assert contents[0][0] == "f1" and contents[0][3] == 1
+    assert "f1" in cache.render()
+    assert cache.cached_seq_nos("f1") == [1]
+
+
+def test_clear():
+    cache = ExtractionCache()
+    cache.put("f1", 1, 1, _cols())
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ETLError):
+        ExtractionCache(policy="magic")

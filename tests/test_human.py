@@ -1,0 +1,31 @@
+"""Tests for humanised formatting helpers."""
+
+from repro.util.human import format_bytes, format_duration, format_table
+
+
+def test_format_bytes_units():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2048) == "2.00 KiB"
+    assert format_bytes(3 * 1024 * 1024) == "3.00 MiB"
+    assert format_bytes(5.5 * 1024 ** 3) == "5.50 GiB"
+
+
+def test_format_bytes_negative():
+    assert format_bytes(-100) == "-100 B"
+
+
+def test_format_duration_ranges():
+    assert format_duration(0.0000052).endswith("us")
+    assert format_duration(0.012) == "12.0 ms"
+    assert format_duration(2.5) == "2.50 s"
+    assert format_duration(75) == "1m15.0s"
+    assert format_duration(-0.5) == "-500.0 ms"
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long header"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    # All rows padded to consistent width
+    assert len(lines[1]) >= len("a") + 2 + len("long header")

@@ -1,0 +1,49 @@
+"""Tests for the operation log (demo capability 8)."""
+
+from repro.util.oplog import OperationLog
+
+
+def test_record_and_order():
+    log = OperationLog()
+    log.record("etl", "first")
+    log.record("query", "second", rows=10)
+    log.record("etl", "third")
+    assert len(log) == 3
+    assert [e.message for e in log] == ["first", "second", "third"]
+    assert [e.seq for e in log] == [1, 2, 3]
+
+
+def test_category_filter_and_categories():
+    log = OperationLog()
+    log.record("a", "x")
+    log.record("b", "y")
+    log.record("a", "z")
+    assert [e.message for e in log.entries("a")] == ["x", "z"]
+    assert log.categories() == ["a", "b"]
+
+
+def test_detail_rendering():
+    log = OperationLog()
+    entry = log.record("cache", "hit", file="f1", records=3)
+    text = entry.render()
+    assert "cache" in text and "file=f1" in text and "records=3" in text
+    assert "#00001" in text
+
+
+def test_subscribe_listener():
+    log = OperationLog()
+    seen = []
+    log.subscribe(seen.append)
+    log.record("x", "one")
+    log.record("x", "two")
+    assert [e.message for e in seen] == ["one", "two"]
+
+
+def test_tail_and_clear():
+    log = OperationLog()
+    for i in range(30):
+        log.record("c", f"m{i}")
+    assert [e.message for e in log.tail(2)] == ["m28", "m29"]
+    log.clear()
+    assert len(log) == 0
+    assert log.render() == ""

@@ -1,0 +1,122 @@
+"""Direct tests of the physical-operator machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.column import Column
+from repro.db.plan.physical import join_indices, _combined_codes
+from repro.db.types import DataType
+
+
+def _bigint(values):
+    return Column.from_values(DataType.BIGINT, values)
+
+
+def _varchar(values):
+    return Column.from_values(DataType.VARCHAR, values)
+
+
+def test_join_indices_simple():
+    left_idx, right_idx, counts = join_indices(
+        [_bigint([1, 2, 3])], [_bigint([2, 2, 4])]
+    )
+    pairs = set(zip(left_idx.tolist(), right_idx.tolist()))
+    assert pairs == {(1, 0), (1, 1)}
+    assert counts.tolist() == [0, 2, 0]
+
+
+def test_join_indices_nulls_never_match():
+    left_idx, right_idx, _counts = join_indices(
+        [_bigint([1, None, 3])], [_bigint([None, 1, None])]
+    )
+    pairs = set(zip(left_idx.tolist(), right_idx.tolist()))
+    assert pairs == {(0, 1)}
+
+
+def test_join_indices_multikey():
+    left = [_varchar(["a", "a", "b"]), _bigint([1, 2, 1])]
+    right = [_varchar(["a", "b", "a"]), _bigint([2, 1, 9])]
+    left_idx, right_idx, _ = join_indices(left, right)
+    pairs = set(zip(left_idx.tolist(), right_idx.tolist()))
+    assert pairs == {(1, 0), (2, 1)}
+
+
+def test_join_indices_empty_sides():
+    left_idx, right_idx, counts = join_indices([_bigint([])], [_bigint([1])])
+    assert len(left_idx) == 0 and len(right_idx) == 0
+    left_idx, right_idx, counts = join_indices([_bigint([1])], [_bigint([])])
+    assert len(left_idx) == 0
+    assert counts.tolist() == [0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.one_of(st.integers(0, 6), st.none()), max_size=25),
+    st.lists(st.one_of(st.integers(0, 6), st.none()), max_size=25),
+)
+def test_join_indices_matches_nested_loop(left_vals, right_vals):
+    """Property: the vectorised join equals the naive nested loop."""
+    left_idx, right_idx, _ = join_indices(
+        [_bigint(left_vals)], [_bigint(right_vals)]
+    )
+    got = sorted(zip(left_idx.tolist(), right_idx.tolist()))
+    expected = sorted(
+        (i, j)
+        for i, lv in enumerate(left_vals)
+        for j, rv in enumerate(right_vals)
+        if lv is not None and rv is not None and lv == rv
+    )
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.one_of(st.integers(0, 3), st.none()),
+                  st.sampled_from(["x", "y"])),
+        max_size=20,
+    ),
+    st.lists(
+        st.tuples(st.one_of(st.integers(0, 3), st.none()),
+                  st.sampled_from(["x", "y"])),
+        max_size=20,
+    ),
+)
+def test_multikey_join_matches_nested_loop(left_rows, right_rows):
+    left = [_bigint([r[0] for r in left_rows]),
+            _varchar([r[1] for r in left_rows])]
+    right = [_bigint([r[0] for r in right_rows]),
+             _varchar([r[1] for r in right_rows])]
+    left_idx, right_idx, _ = join_indices(left, right)
+    got = sorted(zip(left_idx.tolist(), right_idx.tolist()))
+    expected = sorted(
+        (i, j)
+        for i, lrow in enumerate(left_rows)
+        for j, rrow in enumerate(right_rows)
+        if lrow[0] is not None and lrow == rrow
+    )
+    assert got == expected
+
+
+def test_combined_codes_null_propagation():
+    codes = _combined_codes([
+        _bigint([1, None, 1]),
+        _varchar(["a", "a", None]),
+    ])
+    assert codes[1] == -1 and codes[2] == -1
+    assert codes[0] >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+                min_size=1, max_size=40))
+def test_combined_codes_equality_property(rows):
+    """Two rows share a combined code iff they are equal as tuples."""
+    codes = _combined_codes([
+        _bigint([r[0] for r in rows]),
+        _bigint([r[1] for r in rows]),
+    ])
+    for i in range(len(rows)):
+        for j in range(len(rows)):
+            assert (codes[i] == codes[j]) == (rows[i] == rows[j])

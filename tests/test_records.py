@@ -1,0 +1,153 @@
+"""Tests for the mSEED record layer (fixed header + blockettes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CorruptRecordError
+from repro.mseed import encodings
+from repro.mseed.records import (
+    DEFAULT_RECORD_LENGTH,
+    decode_header,
+    decode_record,
+    encode_record,
+)
+from repro.util.timefmt import from_ymd
+
+
+def _make(**overrides):
+    params = dict(
+        sequence_number=7,
+        quality="D",
+        station="HGN",
+        location="",
+        channel="BHZ",
+        network="NL",
+        start_time_us=from_ymd(2010, 1, 12, 22, 0, 0, 123456),
+        samples=np.arange(100, dtype=np.int32),
+        sample_rate_factor=40,
+        sample_rate_multiplier=1,
+        encoding=encodings.ENC_STEIM2,
+    )
+    params.update(overrides)
+    return encode_record(**params)
+
+
+def test_record_is_fixed_length():
+    blob, encoded = _make()
+    assert len(blob) == DEFAULT_RECORD_LENGTH
+    assert encoded == 100
+
+
+def test_header_fields_roundtrip():
+    blob, _ = _make()
+    header = decode_header(blob)
+    assert header.sequence_number == 7
+    assert header.quality == "D"
+    assert header.station == "HGN"
+    assert header.location == ""
+    assert header.channel == "BHZ"
+    assert header.network == "NL"
+    assert header.sample_count == 100
+    assert header.sample_rate == 40.0
+    assert header.encoding == encodings.ENC_STEIM2
+    assert header.record_length == DEFAULT_RECORD_LENGTH
+    assert header.timing_quality == 100
+    # Microsecond precision survives through blockette 1001.
+    assert header.start_time_us == from_ymd(2010, 1, 12, 22, 0, 0, 123456)
+
+
+def test_header_decodable_from_first_64_bytes():
+    blob, _ = _make()
+    header = decode_header(blob[:64])
+    assert header.station == "HGN"
+    assert header.record_length == DEFAULT_RECORD_LENGTH
+
+
+def test_source_id_and_end_time():
+    blob, _ = _make()
+    header = decode_header(blob)
+    assert header.source_id == "NL.HGN..BHZ"
+    expected_span = round(99 * 1_000_000 / 40.0)
+    assert header.end_time_us - header.start_time_us == expected_span
+
+
+def test_payload_roundtrip():
+    samples = np.cumsum(np.random.default_rng(0).integers(-50, 50, 200))
+    blob, encoded = _make(samples=samples.astype(np.int32))
+    record = decode_record(blob)
+    assert np.array_equal(record.samples, samples[:encoded])
+
+
+def test_sample_times_are_exact_microseconds():
+    blob, encoded = _make()
+    record = decode_record(blob)
+    times = record.sample_times_us()
+    assert len(times) == encoded
+    assert times[0] == record.header.start_time_us
+    assert times[1] - times[0] == 25_000  # 40 Hz
+
+
+def test_sub_hz_sample_rate():
+    blob, _ = _make(sample_rate_factor=-10, sample_rate_multiplier=1,
+                    samples=np.arange(10, dtype=np.int32))
+    header = decode_header(blob)
+    assert header.sample_rate == pytest.approx(0.1)
+
+
+def test_invalid_quality_rejected():
+    with pytest.raises(CorruptRecordError):
+        _make(quality="X")
+
+
+def test_station_too_long_rejected():
+    with pytest.raises(CorruptRecordError):
+        _make(station="TOOLONG")
+
+
+def test_sequence_number_range():
+    with pytest.raises(CorruptRecordError):
+        _make(sequence_number=1_000_000)
+
+
+def test_non_power_of_two_record_length():
+    with pytest.raises(CorruptRecordError):
+        _make(record_length=500)
+
+
+def test_record_length_4096():
+    blob, encoded = _make(record_length=4096,
+                          samples=np.arange(5000, dtype=np.int32))
+    assert len(blob) == 4096
+    assert encoded > 100
+    record = decode_record(blob)
+    assert record.header.record_length == 4096
+
+
+def test_decode_header_rejects_garbage():
+    with pytest.raises(CorruptRecordError):
+        decode_header(b"\x00" * 48)
+    with pytest.raises(CorruptRecordError):
+        decode_header(b"short")
+
+
+def test_decode_record_rejects_truncation():
+    blob, _ = _make()
+    with pytest.raises(CorruptRecordError):
+        decode_record(blob[:256])
+
+
+def test_time_correction_applied_when_flag_clear():
+    blob, _ = _make()
+    raw = bytearray(blob)
+    # time correction field lives at offset 40..44 (0.0001 s units)
+    raw[40:44] = (50).to_bytes(4, "big", signed=True)
+    header = decode_header(bytes(raw))
+    base = decode_header(blob).start_time_us
+    assert header.start_time_us == base + 5000
+
+
+def test_float_payload_record():
+    samples = np.array([1.5, -2.25, 3.75], dtype=np.float64)
+    blob, encoded = _make(samples=samples, encoding=encodings.ENC_FLOAT64)
+    record = decode_record(blob)
+    assert np.allclose(record.samples, samples[:encoded])

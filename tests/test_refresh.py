@@ -1,0 +1,126 @@
+"""Refresh behaviour: new, modified and removed files (§1, §3.3)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.mseed.files import write_mseed_file
+from repro.mseed.repository import Repository
+from repro.seismology.queries import fig1_query2
+from repro.seismology.warehouse import SeismicWarehouse
+from repro.util.timefmt import from_ymd
+
+
+def _rewrite_file(entry, offset=1000):
+    """Overwrite a manifest entry's file with shifted content."""
+    samples = (np.arange(entry.n_samples, dtype=np.int32) % 100) + offset
+    write_mseed_file(
+        entry.path,
+        network=entry.network, station=entry.station,
+        location=entry.location, channel=entry.channel,
+        start_time_us=entry.start_time_us, sample_rate=entry.sample_rate,
+        samples=samples,
+    )
+    stat = os.stat(entry.path)
+    os.utime(entry.path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+
+
+def test_query_time_staleness_without_sync(mutable_repo):
+    """The paper's pure-lazy refresh: no sync call, the cache notices."""
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy",
+                          enable_recycler=False)
+    entry = next(e for e in mutable_repo.entries
+                 if e.station == "HGN" and e.channel == "BHZ")
+    q = ("SELECT MAX(D.sample_value) FROM mseed.dataview "
+         "WHERE F.station = 'HGN' AND F.channel = 'BHZ'")
+    before = wh.query(q).scalar()
+    _rewrite_file(entry, offset=50_000)
+    after = wh.query(q).scalar()
+    assert after >= 50_000
+    assert after != before
+    assert wh.cache.stats.stale_drops > 0
+
+
+def test_sync_picks_up_new_file(mutable_repo):
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy")
+    files_before = wh.query("SELECT COUNT(*) FROM mseed.files").scalar()
+    new_path = os.path.join(mutable_repo.root, "NL", "HGN",
+                            "NL.HGN..BHZ.2010.013.2200.mseed")
+    write_mseed_file(
+        new_path, network="NL", station="HGN", location="", channel="BHZ",
+        start_time_us=from_ymd(2010, 1, 13, 22, 0), sample_rate=40.0,
+        samples=np.arange(4000, dtype=np.int32),
+    )
+    report = wh.sync()
+    assert len(report.added) == 1
+    assert wh.query("SELECT COUNT(*) FROM mseed.files").scalar() == \
+        files_before + 1
+    # The new file's data is immediately queryable (lazily).
+    count = wh.query(
+        "SELECT COUNT(*) FROM mseed.dataview "
+        "WHERE R.start_time >= '2010-01-13T00:00:00'").scalar()
+    assert count == 4000
+
+
+def test_sync_updates_modified_file_metadata(mutable_repo):
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy")
+    entry = mutable_repo.entries[0]
+    uri = os.path.relpath(entry.path, mutable_repo.root)
+    _rewrite_file(entry)
+    report = wh.sync()
+    assert uri in report.updated
+    # Record metadata reflects the rewritten file's (different) layout.
+    from repro.mseed.files import scan_file_headers
+
+    records = wh.query(
+        f"SELECT COUNT(*) FROM mseed.records "
+        f"WHERE file_location = '{uri}'").scalar()
+    assert records == len(scan_file_headers(entry.path))
+
+
+def test_sync_removes_vanished_file(mutable_repo):
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy")
+    entry = mutable_repo.entries[0]
+    uri = os.path.relpath(entry.path, mutable_repo.root)
+    os.remove(entry.path)
+    report = wh.sync()
+    assert uri in report.removed
+    left = wh.query(
+        f"SELECT COUNT(*) FROM mseed.files "
+        f"WHERE file_location = '{uri}'").scalar()
+    assert left == 0
+
+
+def test_sync_is_idempotent(mutable_repo):
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy")
+    first = wh.sync()
+    assert first.changed == 0
+    second = wh.sync()
+    assert second.changed == 0
+
+
+def test_eager_refresh_reloads_changed_data(mutable_repo):
+    wh = SeismicWarehouse(mutable_repo.root, mode="eager")
+    entry = next(e for e in mutable_repo.entries
+                 if e.station == "DBN" and e.channel == "BHZ")
+    q = ("SELECT MAX(D.sample_value) FROM mseed.dataview "
+         "WHERE F.station = 'DBN' AND F.channel = 'BHZ'")
+    before = wh.query(q).scalar()
+    _rewrite_file(entry, offset=70_000)
+    report = wh.sync()
+    assert report.samples_reloaded == entry.n_samples
+    after = wh.query(q).scalar()
+    assert after >= 70_000 and after != before
+
+
+def test_external_mode_sees_changes_without_sync(mutable_repo):
+    wh = SeismicWarehouse(mutable_repo.root, mode="external")
+    entry = next(e for e in mutable_repo.entries
+                 if e.station == "HGN" and e.channel == "BHE")
+    q = ("SELECT MAX(D.sample_value) FROM mseed.dataview "
+         "WHERE F.station = 'HGN' AND F.channel = 'BHE'")
+    wh.query(q)
+    _rewrite_file(entry, offset=90_000)
+    assert wh.query(q).scalar() >= 90_000
+    assert wh.sync().changed == 0  # nothing to sync

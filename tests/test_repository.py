@@ -1,0 +1,95 @@
+"""Tests for the repository abstraction."""
+
+import time
+
+import pytest
+
+from repro.errors import FileMissingError, RepositoryError
+from repro.mseed.repository import Repository, SimulatedRemoteRepository
+
+
+def test_listing_is_sorted_and_relative(tiny_repo):
+    repo = Repository(tiny_repo.root)
+    infos = repo.list_files()
+    assert len(infos) == len(tiny_repo.entries)
+    uris = [info.uri for info in infos]
+    assert uris == sorted(uris)
+    assert all(not uri.startswith("/") for uri in uris)
+    assert all(info.size > 0 for info in infos)
+
+
+def test_stat_and_exists(tiny_repo):
+    repo = Repository(tiny_repo.root)
+    uri = repo.list_files()[0].uri
+    info = repo.stat(uri)
+    assert info.uri == uri
+    assert repo.exists(uri)
+    assert not repo.exists("nope/missing.mseed")
+
+
+def test_open_counts_reads(tiny_repo):
+    repo = Repository(tiny_repo.root)
+    uri = repo.list_files()[0].uri
+    assert repo.reads == 0
+    with repo.open(uri) as handle:
+        handle.read(10)
+    assert repo.reads == 1
+    assert repo.bytes_read > 0
+    repo.reset_counters()
+    assert repo.reads == 0 and repo.bytes_read == 0
+
+
+def test_unsafe_uri_rejected(tiny_repo):
+    repo = Repository(tiny_repo.root)
+    with pytest.raises(RepositoryError):
+        repo.stat("../outside.mseed")
+    with pytest.raises(RepositoryError):
+        repo.stat("/absolute.mseed")
+
+
+def test_missing_file_error(tiny_repo):
+    repo = Repository(tiny_repo.root)
+    with pytest.raises(FileMissingError):
+        repo.stat("ghost.mseed")
+
+
+def test_bad_root_rejected(tmp_path):
+    with pytest.raises(RepositoryError):
+        Repository(tmp_path / "does-not-exist")
+
+
+def test_touch_bumps_mtime(mutable_repo):
+    repo = Repository(mutable_repo.root)
+    uri = repo.list_files()[0].uri
+    before = repo.stat(uri).mtime_ns
+    repo.touch(uri)
+    assert repo.stat(uri).mtime_ns > before
+
+
+def test_overwrite_advances_mtime(mutable_repo):
+    repo = Repository(mutable_repo.root)
+    uri = repo.list_files()[0].uri
+    before = repo.stat(uri).mtime_ns
+    data = open(repo.path_of(uri), "rb").read()
+    repo.overwrite(uri, data)
+    assert repo.stat(uri).mtime_ns > before
+
+
+def test_remove(mutable_repo):
+    repo = Repository(mutable_repo.root)
+    uri = repo.list_files()[0].uri
+    count = len(repo.list_files())
+    repo.remove(uri)
+    assert len(repo.list_files()) == count - 1
+
+
+def test_simulated_remote_latency(tiny_repo):
+    fast = Repository(tiny_repo.root)
+    slow = SimulatedRemoteRepository(tiny_repo.root, latency_s=0.01,
+                                     bandwidth_bytes_per_s=1e9)
+    uri = fast.list_files()[0].uri
+    started = time.perf_counter()
+    with slow.open(uri) as handle:
+        handle.read()
+    elapsed = time.perf_counter() - started
+    assert elapsed >= 0.01

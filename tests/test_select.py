@@ -1,0 +1,190 @@
+"""End-to-end SELECT tests against small in-memory tables."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import BindError, SQLError, TypeMismatchError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("""CREATE TABLE people (
+        id BIGINT PRIMARY KEY, name VARCHAR, age BIGINT, city VARCHAR)""")
+    database.execute("""INSERT INTO people VALUES
+        (1, 'ada', 36, 'london'), (2, 'bob', 25, 'paris'),
+        (3, 'cee', 25, 'london'), (4, 'dan', NULL, 'berlin')""")
+    database.execute("""CREATE TABLE visits (
+        person_id BIGINT, place VARCHAR, spend DOUBLE)""")
+    database.execute("""INSERT INTO visits VALUES
+        (1, 'museum', 10.5), (1, 'cafe', 4.0), (2, 'cafe', 3.0),
+        (5, 'park', 0.0)""")
+    return database
+
+
+def test_projection_and_arithmetic(db):
+    rows = db.query("SELECT name, age * 2 AS dbl FROM people WHERE id = 1").rows()
+    assert rows == [("ada", 72)]
+
+
+def test_where_and_comparison(db):
+    rows = db.query("SELECT name FROM people WHERE age > 25").rows()
+    assert rows == [("ada",)]
+
+
+def test_null_semantics_in_where(db):
+    # dan has NULL age: neither > nor <= matches (three-valued logic).
+    over = db.query("SELECT COUNT(*) FROM people WHERE age > 0").scalar()
+    under = db.query("SELECT COUNT(*) FROM people WHERE age <= 0").scalar()
+    assert over == 3 and under == 0
+    nulls = db.query(
+        "SELECT name FROM people WHERE age IS NULL").rows()
+    assert nulls == [("dan",)]
+
+
+def test_order_by_asc_desc_nulls_last(db):
+    names = [r[0] for r in db.query(
+        "SELECT name FROM people ORDER BY age, name").rows()]
+    assert names == ["bob", "cee", "ada", "dan"]
+    names = [r[0] for r in db.query(
+        "SELECT name FROM people ORDER BY age DESC, name").rows()]
+    assert names == ["ada", "bob", "cee", "dan"]
+
+
+def test_order_by_alias_and_position(db):
+    rows = db.query(
+        "SELECT name, age * 2 AS dbl FROM people "
+        "WHERE age IS NOT NULL ORDER BY dbl DESC").rows()
+    assert rows[0][0] == "ada"
+    rows2 = db.query(
+        "SELECT name, age FROM people WHERE age IS NOT NULL "
+        "ORDER BY 2 DESC").rows()
+    assert rows2[0][0] == "ada"
+
+
+def test_limit_offset(db):
+    rows = db.query(
+        "SELECT name FROM people ORDER BY id LIMIT 2 OFFSET 1").rows()
+    assert rows == [("bob",), ("cee",)]
+
+
+def test_distinct(db):
+    rows = db.query("SELECT DISTINCT age FROM people ORDER BY age").rows()
+    assert rows == [(25,), (36,), (None,)]
+
+
+def test_inner_join(db):
+    rows = db.query("""
+        SELECT p.name, v.place FROM people AS p
+        JOIN visits AS v ON p.id = v.person_id
+        ORDER BY p.name, v.place""").rows()
+    assert rows == [("ada", "cafe"), ("ada", "museum"), ("bob", "cafe")]
+
+
+def test_left_join_pads_nulls(db):
+    rows = db.query("""
+        SELECT p.name, v.place FROM people AS p
+        LEFT JOIN visits AS v ON p.id = v.person_id
+        ORDER BY p.name, v.place""").rows()
+    assert ("cee", None) in rows and ("dan", None) in rows
+    assert len(rows) == 5
+
+
+def test_comma_join_with_where(db):
+    rows = db.query("""
+        SELECT p.name FROM people AS p, visits AS v
+        WHERE p.id = v.person_id AND v.place = 'museum'""").rows()
+    assert rows == [("ada",)]
+
+
+def test_cross_join_count(db):
+    count = db.query(
+        "SELECT COUNT(*) FROM people CROSS JOIN visits").scalar()
+    assert count == 16
+
+
+def test_subquery_in_from(db):
+    rows = db.query("""
+        SELECT big.name FROM (
+            SELECT name, age FROM people WHERE age >= 25
+        ) AS big WHERE big.age > 30""").rows()
+    assert rows == [("ada",)]
+
+
+def test_between_in_like(db):
+    rows = db.query(
+        "SELECT name FROM people WHERE age BETWEEN 25 AND 30 "
+        "AND city IN ('paris', 'london') AND name LIKE '_o%'").rows()
+    assert rows == [("bob",)]
+
+
+def test_case_expression(db):
+    rows = db.query("""
+        SELECT name, CASE WHEN age >= 30 THEN 'senior'
+                          WHEN age >= 18 THEN 'adult'
+                          ELSE 'unknown' END AS bracket
+        FROM people ORDER BY id""").rows()
+    assert rows[0] == ("ada", "senior")
+    assert rows[1] == ("bob", "adult")
+    assert rows[3] == ("dan", "unknown")
+
+
+def test_scalar_functions(db):
+    row = db.query(
+        "SELECT UPPER(name), LENGTH(city), ABS(-5) FROM people WHERE id = 1"
+    ).first()
+    assert row == ("ADA", 6, 5)
+
+
+def test_concat_operator(db):
+    value = db.query(
+        "SELECT name || '@' || city FROM people WHERE id = 2").scalar()
+    assert value == "bob@paris"
+
+
+def test_division_is_double_and_by_zero_null(db):
+    assert db.query("SELECT 7 / 2 FROM people WHERE id = 1").scalar() == 3.5
+    assert db.query("SELECT 7 / 0 FROM people WHERE id = 1").scalar() is None
+
+
+def test_coalesce_and_nullif(db):
+    rows = db.query(
+        "SELECT COALESCE(age, -1) FROM people ORDER BY id").rows()
+    assert rows == [(36,), (25,), (25,), (-1,)]
+    assert db.query(
+        "SELECT NULLIF(city, 'berlin') FROM people WHERE id = 4").scalar() is None
+
+
+def test_unknown_column_and_table_errors(db):
+    with pytest.raises(BindError):
+        db.query("SELECT ghost FROM people")
+    with pytest.raises(BindError):
+        db.query("SELECT name FROM ghosts")
+
+
+def test_ambiguous_column_error(db):
+    db.execute("CREATE TABLE other (name VARCHAR)")
+    db.execute("INSERT INTO other VALUES ('x')")
+    with pytest.raises(BindError):
+        db.query("SELECT name FROM people, other")
+
+
+def test_type_mismatch_error(db):
+    with pytest.raises(TypeMismatchError):
+        db.query("SELECT name + 1 FROM people")
+
+
+def test_query_rejects_ddl(db):
+    with pytest.raises(SQLError):
+        db.query("CREATE TABLE nope (a BIGINT)")
+
+
+def test_result_helpers(db):
+    result = db.query("SELECT name, age FROM people ORDER BY id")
+    assert result.row_count == 4
+    assert result.column_count == 2
+    assert result.names == ["name", "age"]
+    assert result.column("age").to_pylist()[0] == 36
+    assert "ada" in result.format()
+    pydict = result.to_pydict()
+    assert pydict["name"][1] == "bob"

@@ -1,0 +1,75 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.db.sql.lexer import TokenType, tokenize
+from repro.errors import LexerError
+
+
+def _texts(sql):
+    return [(t.type, t.text) for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("SELECT sElEcT select")
+    assert all(t.is_keyword("select") for t in tokens[:-1])
+
+
+def test_identifiers_folded_lower():
+    assert _texts("Station")[0] == (TokenType.IDENT, "station")
+
+
+def test_quoted_identifier_preserves_case():
+    assert _texts('"MixedCase"')[0] == (TokenType.IDENT, "MixedCase")
+
+
+def test_string_literal_with_escape():
+    tokens = tokenize("'it''s'")
+    assert tokens[0].type == TokenType.STRING
+    assert tokens[0].text == "it's"
+
+
+def test_unterminated_string():
+    with pytest.raises(LexerError):
+        tokenize("'oops")
+
+
+def test_numbers():
+    assert _texts("42")[0] == (TokenType.NUMBER, "42")
+    assert _texts("3.14")[0] == (TokenType.NUMBER, "3.14")
+    assert _texts("1e-3")[0] == (TokenType.NUMBER, "1e-3")
+    assert _texts("2.5E+10")[0] == (TokenType.NUMBER, "2.5E+10")
+
+
+def test_qualified_name_tokens():
+    kinds = [t[0] for t in _texts("mseed.dataview")]
+    assert kinds == [TokenType.IDENT, TokenType.PUNCT, TokenType.IDENT]
+
+
+def test_operators():
+    ops = [t[1] for t in _texts("a <> b <= c >= d != e || f")]
+    assert "<>" in ops and "<=" in ops and ">=" in ops and "!=" in ops
+    assert "||" in ops
+
+
+def test_comments_skipped():
+    tokens = tokenize("SELECT -- a comment\n 1 /* block\ncomment */ + 2")
+    texts = [t.text for t in tokens[:-1]]
+    assert texts == ["select", "1", "+", "2"]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexerError):
+        tokenize("/* never ends")
+
+
+def test_unknown_character():
+    with pytest.raises(LexerError) as err:
+        tokenize("SELECT ~")
+    assert err.value.position == 7
+
+
+def test_eof_token_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].type == TokenType.EOF

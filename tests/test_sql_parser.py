@@ -1,0 +1,188 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.db import expr as ex
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_select, parse_statement
+from repro.errors import ParseError
+
+
+def test_parse_paper_query_one():
+    stmt = parse_select("""SELECT AVG(D.sample_value)
+FROM mseed.dataview
+WHERE F.station = 'ISK'
+AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000';""")
+    assert len(stmt.items) == 1
+    assert isinstance(stmt.items[0].expr, ex.AggCall)
+    assert isinstance(stmt.from_items[0], ast.TableRef)
+    assert stmt.from_items[0].parts == ("mseed", "dataview")
+    assert stmt.where is not None
+
+
+def test_parse_paper_query_two():
+    stmt = parse_select("""SELECT F.station,
+MIN(D.sample_value), MAX(D.sample_value)
+FROM mseed.dataview
+WHERE F.network = 'NL'
+AND F.channel = 'BHZ'
+GROUP BY F.station;""")
+    assert len(stmt.items) == 3
+    assert len(stmt.group_by) == 1
+    group = stmt.group_by[0]
+    assert isinstance(group, ex.ColumnRef)
+    assert group.parts == ("f", "station")
+
+
+def test_operator_precedence():
+    stmt = parse_select("SELECT 1 + 2 * 3 FROM t")
+    expr = stmt.items[0].expr
+    assert isinstance(expr, ex.BinOp) and expr.op == "+"
+    assert isinstance(expr.right, ex.BinOp) and expr.right.op == "*"
+
+
+def test_and_or_precedence():
+    stmt = parse_select("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+    where = stmt.where
+    assert isinstance(where, ex.BinOp) and where.op == "or"
+    assert isinstance(where.right, ex.BinOp) and where.right.op == "and"
+
+
+def test_not_between_in_like():
+    stmt = parse_select(
+        "SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2 "
+        "AND b NOT IN (1, 2) AND c NOT LIKE 'x%' AND d IS NOT NULL"
+    )
+    conjuncts = []
+    stack = [stmt.where]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ex.BinOp) and node.op == "and":
+            stack.extend([node.left, node.right])
+        else:
+            conjuncts.append(node)
+    kinds = {type(c) for c in conjuncts}
+    assert kinds == {ex.Between, ex.InList, ex.Like, ex.IsNull}
+    assert all(getattr(c, "negated") for c in conjuncts)
+
+
+def test_joins():
+    stmt = parse_select(
+        "SELECT * FROM a JOIN b ON a.x = b.x "
+        "LEFT JOIN c ON b.y = c.y CROSS JOIN d"
+    )
+    outer = stmt.from_items[0]
+    assert isinstance(outer, ast.JoinRef) and outer.kind == "cross"
+    left = outer.left
+    assert isinstance(left, ast.JoinRef) and left.kind == "left"
+    assert isinstance(left.left, ast.JoinRef) and left.left.kind == "inner"
+
+
+def test_subquery_in_from():
+    stmt = parse_select("SELECT s.a FROM (SELECT a FROM t) AS s")
+    sub = stmt.from_items[0]
+    assert isinstance(sub, ast.SubqueryRef)
+    assert sub.alias == "s"
+
+
+def test_order_limit_offset_distinct():
+    stmt = parse_select(
+        "SELECT DISTINCT a, b FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5"
+    )
+    assert stmt.distinct
+    assert stmt.order_by[0].ascending is False
+    assert stmt.order_by[1].ascending is True
+    assert stmt.limit == 10 and stmt.offset == 5
+
+
+def test_case_and_cast():
+    stmt = parse_select(
+        "SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END, "
+        "CAST(a AS DOUBLE) FROM t"
+    )
+    assert isinstance(stmt.items[0].expr, ex.Case)
+    assert isinstance(stmt.items[1].expr, ex.Cast)
+
+
+def test_create_table_with_keys():
+    stmt = parse_statement("""CREATE TABLE mseed.records (
+        file_location VARCHAR(255) NOT NULL,
+        seq_no BIGINT,
+        frequency DOUBLE,
+        PRIMARY KEY (file_location, seq_no),
+        FOREIGN KEY (file_location) REFERENCES mseed.files (file_location)
+    )""")
+    assert isinstance(stmt, ast.CreateTableStmt)
+    assert stmt.primary_key == ["file_location", "seq_no"]
+    assert stmt.foreign_keys[0].ref_table == ("mseed", "files")
+    assert stmt.columns[0].not_null
+
+
+def test_create_table_inline_pk():
+    stmt = parse_statement("CREATE TABLE t (id BIGINT PRIMARY KEY, v DOUBLE)")
+    assert stmt.primary_key == ["id"]
+    assert stmt.columns[0].not_null
+
+
+def test_duplicate_pk_rejected():
+    with pytest.raises(ParseError):
+        parse_statement(
+            "CREATE TABLE t (id BIGINT PRIMARY KEY, PRIMARY KEY (id))"
+        )
+
+
+def test_create_view_and_schema_and_drop():
+    view = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+    assert isinstance(view, ast.CreateViewStmt)
+    schema = parse_statement("CREATE SCHEMA IF NOT EXISTS mseed")
+    assert isinstance(schema, ast.CreateSchemaStmt) and schema.if_not_exists
+    drop = parse_statement("DROP TABLE IF EXISTS t")
+    assert isinstance(drop, ast.DropStmt) and drop.if_exists
+
+
+def test_insert_delete_update():
+    insert = parse_statement(
+        "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+    )
+    assert isinstance(insert, ast.InsertStmt)
+    assert len(insert.rows) == 2
+    delete = parse_statement("DELETE FROM t WHERE a = 1")
+    assert isinstance(delete, ast.DeleteStmt)
+    update = parse_statement("UPDATE t SET a = 2, b = 'z' WHERE a = 1")
+    assert isinstance(update, ast.UpdateStmt)
+    assert len(update.assignments) == 2
+
+
+def test_explain():
+    stmt = parse_statement("EXPLAIN SELECT a FROM t")
+    assert isinstance(stmt, ast.ExplainStmt)
+
+
+def test_count_star_only_for_count():
+    stmt = parse_select("SELECT COUNT(*) FROM t")
+    agg = stmt.items[0].expr
+    assert isinstance(agg, ex.AggCall) and agg.arg is None
+    with pytest.raises(ParseError):
+        parse_select("SELECT SUM(*) FROM t")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT a FROM t extra nonsense ,")
+
+
+def test_alias_forms():
+    stmt = parse_select("SELECT a AS x, b y FROM t AS u")
+    assert stmt.items[0].alias == "x"
+    assert stmt.items[1].alias == "y"
+    assert stmt.from_items[0].alias == "u"
+
+
+def test_star_variants():
+    stmt = parse_select("SELECT *, t.* FROM t")
+    assert isinstance(stmt.items[0].expr, ex.Star)
+    assert stmt.items[1].expr.qualifier == "t"

@@ -1,0 +1,137 @@
+"""Unit and property tests for the Steim-1/Steim-2 codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SteimError
+from repro.mseed import steim
+
+
+def _roundtrip(samples, level, frames=7):
+    encode = steim.encode_steim1 if level == 1 else steim.encode_steim2
+    decode = steim.decode_steim1 if level == 1 else steim.decode_steim2
+    position = 0
+    out = []
+    previous = None
+    while position < len(samples):
+        payload, count = encode(samples[position:], frames, previous)
+        assert count > 0
+        out.append(decode(payload, count))
+        previous = int(samples[position + count - 1])
+        position += count
+    return np.concatenate(out)
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_constant_series(level):
+    samples = np.full(100, 42, dtype=np.int32)
+    assert np.array_equal(_roundtrip(samples, level), samples)
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_alternating_small_diffs(level):
+    samples = np.cumsum(np.tile([1, -1, 2, -2], 200)).astype(np.int32)
+    assert np.array_equal(_roundtrip(samples, level), samples)
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_large_jumps(level):
+    samples = np.array([0, 1 << 20, -(1 << 20), 7, 8, 9, 1 << 24],
+                       dtype=np.int32)
+    assert np.array_equal(_roundtrip(samples, level), samples)
+
+
+def test_single_sample():
+    payload, count = steim.encode_steim2(np.array([123], dtype=np.int32), 7)
+    assert count == 1
+    assert steim.decode_steim2(payload, 1).tolist() == [123]
+
+
+def test_payload_is_frame_aligned():
+    payload, count = steim.encode_steim2(np.arange(50, dtype=np.int32), 7)
+    assert len(payload) % steim.FRAME_BYTES == 0
+
+
+def test_partial_encode_continues_with_previous():
+    rng = np.random.default_rng(1)
+    samples = np.cumsum(rng.integers(-100, 100, 4000)).astype(np.int32)
+    # One frame holds far fewer than 4000 samples: forces continuation.
+    assert np.array_equal(_roundtrip(samples, 2, frames=1), samples)
+
+
+def test_steim2_rejects_out_of_range_diff():
+    samples = np.array([0, (1 << 30)], dtype=np.int64).astype(np.int32)
+    # diff is -2^30 after int32 wraparound; construct explicitly instead:
+    samples = np.array([-(1 << 29) - 1, (1 << 29)], dtype=np.int32)
+    with pytest.raises(SteimError):
+        steim.encode_steim2(samples, 7)
+
+
+def test_steim1_handles_full_32bit_diffs():
+    samples = np.array([-(1 << 30), (1 << 30) - 1], dtype=np.int32)
+    assert np.array_equal(_roundtrip(samples, 1), samples)
+
+
+def test_encode_empty_rejected():
+    with pytest.raises(SteimError):
+        steim.encode_steim2(np.array([], dtype=np.int32), 7)
+
+
+def test_decode_rejects_unaligned_payload():
+    with pytest.raises(SteimError):
+        steim.decode_steim2(b"\x00" * 63, 1)
+
+
+def test_decode_rejects_short_sample_count():
+    payload, count = steim.encode_steim2(np.arange(10, dtype=np.int32), 7)
+    with pytest.raises(SteimError):
+        steim.decode_steim2(payload, count + 500)
+
+
+def test_decode_detects_integration_mismatch():
+    payload, count = steim.encode_steim2(np.arange(20, dtype=np.int32), 7)
+    corrupted = bytearray(payload)
+    corrupted[8:12] = (999999).to_bytes(4, "big")  # clobber XN (frame 0 word 2)
+    with pytest.raises(SteimError):
+        steim.decode_steim2(bytes(corrupted), count)
+    # ... unless verification is disabled.
+    steim.decode_steim2(bytes(corrupted), count, check_integration=False)
+
+
+def test_decode_zero_samples():
+    assert steim.decode_steim2(b"", 0).size == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=-(1 << 28), max_value=(1 << 28) - 1),
+             min_size=1, max_size=500),
+    st.sampled_from([1, 2]),
+)
+def test_roundtrip_property(diffs, level):
+    """Any diff sequence within Steim-2 range round-trips exactly."""
+    samples = np.cumsum(np.array(diffs, dtype=np.int64))
+    samples = np.clip(samples, -(1 << 30), (1 << 30) - 1).astype(np.int32)
+    assert np.array_equal(_roundtrip(samples, level), samples)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+def test_single_value_property(value):
+    samples = np.array([value], dtype=np.int32)
+    for level in (1, 2):
+        assert np.array_equal(_roundtrip(samples, level), samples)
+
+
+def test_compression_ratio_realistic_waveform():
+    """Steim-2 should compress a realistic seismic trace well below 4 B/sample."""
+    rng = np.random.default_rng(5)
+    samples = np.cumsum(rng.integers(-30, 30, 10_000)).astype(np.int32)
+    position = 0
+    total_bytes = 0
+    while position < len(samples):
+        payload, count = steim.encode_steim2(samples[position:], 7)
+        total_bytes += len(payload)
+        position += count
+    assert total_bytes / len(samples) < 2.5

@@ -1,0 +1,86 @@
+"""Unit and property tests for the time utilities."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import timefmt
+
+
+def test_from_ymd_epoch():
+    assert timefmt.from_ymd(1970, 1, 1) == 0
+    assert timefmt.from_ymd(1970, 1, 2) == timefmt.MICROS_PER_DAY
+
+
+def test_parse_iso8601_paper_literals():
+    # The exact literal forms from the paper's Figure-1 queries.
+    t0 = timefmt.parse_iso8601("2010-01-12T00:00:00.000")
+    t1 = timefmt.parse_iso8601("2010-01-12T23:59:59.999")
+    assert t1 - t0 == 86_400_000_000 - 1000
+    assert timefmt.parse_iso8601("2010-01-12T22:15:00.000") == \
+        timefmt.from_ymd(2010, 1, 12, 22, 15)
+
+
+def test_parse_iso8601_variants():
+    base = timefmt.from_ymd(2010, 1, 12, 22, 15)
+    assert timefmt.parse_iso8601("2010-01-12 22:15:00") == base
+    assert timefmt.parse_iso8601("2010-01-12T22:15:00Z") == base
+    assert timefmt.parse_iso8601("2010-01-12T22:15:00+00:00") == base
+    assert timefmt.parse_iso8601("2010-01-12") == \
+        timefmt.from_ymd(2010, 1, 12)
+
+
+def test_parse_iso8601_rejects_garbage():
+    with pytest.raises(ValueError):
+        timefmt.parse_iso8601("")
+    with pytest.raises(ValueError):
+        timefmt.parse_iso8601("not-a-date")
+
+
+def test_format_iso8601_millis_and_micros():
+    stamp = timefmt.from_ymd(2010, 1, 12, 22, 15, 0, 123456)
+    assert timefmt.format_iso8601(stamp) == "2010-01-12T22:15:00.123"
+    assert timefmt.format_iso8601(stamp, millis=False) == \
+        "2010-01-12T22:15:00.123456"
+
+
+def test_day_of_year():
+    assert timefmt.day_of_year(timefmt.from_ymd(2010, 1, 12)) == (2010, 12)
+    assert timefmt.day_of_year(timefmt.from_ymd(2012, 12, 31)) == (2012, 366)
+
+
+def test_from_yday_inverse_of_day_of_year():
+    stamp = timefmt.from_ymd(2011, 6, 5, 3, 4, 5)
+    year, yday = timefmt.day_of_year(stamp)
+    rebuilt = timefmt.from_yday(year, yday, 3, 4, 5)
+    assert rebuilt == stamp
+
+
+def test_sample_interval():
+    assert timefmt.sample_interval_us(40.0) == 25_000
+    with pytest.raises(ValueError):
+        timefmt.sample_interval_us(0)
+
+
+@given(
+    st.datetimes(
+        min_value=dt.datetime(1975, 1, 1),
+        max_value=dt.datetime(2100, 1, 1),
+    )
+)
+def test_format_parse_roundtrip(moment):
+    micros = timefmt.from_ymd(
+        moment.year, moment.month, moment.day, moment.hour,
+        moment.minute, moment.second, moment.microsecond,
+    )
+    text = timefmt.format_iso8601(micros, millis=False)
+    assert timefmt.parse_iso8601(text) == micros
+
+
+@given(st.integers(min_value=0, max_value=4_000_000_000_000_000))
+def test_day_of_year_matches_datetime(micros):
+    year, yday = timefmt.day_of_year(micros)
+    moment = timefmt.to_datetime(micros)
+    assert year == moment.year
+    assert yday == moment.timetuple().tm_yday

@@ -1,0 +1,86 @@
+"""View expansion and the paper's inner-alias addressing."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import BindError, CatalogError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE SCHEMA app")
+    database.execute(
+        "CREATE TABLE app.files (loc VARCHAR PRIMARY KEY, station VARCHAR)")
+    database.execute(
+        "CREATE TABLE app.points (loc VARCHAR, v BIGINT)")
+    database.execute("INSERT INTO app.files VALUES ('f1', 'HGN'), ('f2', 'ISK')")
+    database.execute(
+        "INSERT INTO app.points VALUES ('f1', 1), ('f1', 2), ('f2', 30)")
+    database.execute("""CREATE VIEW app.joined AS
+        SELECT F.loc AS loc, F.station, P.v
+        FROM app.files AS F, app.points AS P
+        WHERE F.loc = P.loc""")
+    return database
+
+
+def test_view_is_not_materialised(db):
+    # Rows inserted after view creation are visible: the view expands at
+    # query time (the paper's lazy transformation).
+    db.execute("INSERT INTO app.points VALUES ('f2', 40)")
+    total = db.query("SELECT COUNT(*) FROM app.joined").scalar()
+    assert total == 4
+
+
+def test_view_inner_alias_addressing(db):
+    # The paper's F.station form against the view.
+    rows = db.query(
+        "SELECT F.station, SUM(P.v) FROM app.joined "
+        "GROUP BY F.station ORDER BY F.station").rows()
+    assert rows == [("HGN", 3), ("ISK", 30)]
+
+
+def test_view_output_names_work_too(db):
+    rows = db.query(
+        "SELECT station, v FROM app.joined ORDER BY v DESC").rows()
+    assert rows[0] == ("ISK", 30)
+
+
+def test_view_alias_in_from(db):
+    rows = db.query(
+        "SELECT j.station FROM app.joined AS j WHERE j.v = 30").rows()
+    assert rows == [("ISK",)]
+
+
+def test_unknown_inner_alias_fails(db):
+    with pytest.raises(BindError):
+        db.query("SELECT X.station FROM app.joined")
+
+
+def test_view_over_view(db):
+    db.execute(
+        "CREATE VIEW app.big AS SELECT station, v FROM app.joined WHERE v > 1")
+    rows = db.query("SELECT station FROM app.big ORDER BY v").rows()
+    assert rows == [("HGN",), ("ISK",)]
+
+
+def test_duplicate_view_rejected(db):
+    with pytest.raises(CatalogError):
+        db.execute("CREATE VIEW app.joined AS SELECT loc FROM app.files")
+
+
+def test_drop_view(db):
+    db.execute("DROP VIEW app.joined")
+    with pytest.raises(BindError):
+        db.query("SELECT * FROM app.joined")
+
+
+def test_view_validated_at_creation(db):
+    with pytest.raises(BindError):
+        db.execute("CREATE VIEW app.bad AS SELECT ghost FROM app.files")
+
+
+def test_star_through_view(db):
+    rows = db.query("SELECT * FROM app.joined ORDER BY v").rows()
+    assert rows[0] == ("f1", "HGN", 1)
+    assert len(rows[0]) == 3

@@ -1,0 +1,106 @@
+"""SeismicWarehouse facade tests across the three modes."""
+
+import pytest
+
+from repro.errors import ETLError
+from repro.seismology import browse
+from repro.seismology.queries import analytical_suite, fig1_query1
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_unknown_mode_rejected(demo_repo):
+    with pytest.raises(ETLError):
+        SeismicWarehouse(demo_repo.root, mode="psychic")
+
+
+def test_load_report_shapes(demo_repo, lazy_wh, eager_wh, external_wh):
+    assert lazy_wh.load_report.strategy.startswith("lazy")
+    assert lazy_wh.load_report.samples_loaded == 0
+    assert eager_wh.load_report.strategy == "eager"
+    assert eager_wh.load_report.samples_loaded == demo_repo.total_samples
+    assert external_wh.load_report.strategy == "external"
+    assert external_wh.load_report.bytes_read == 0
+
+
+def test_eager_loads_slower_than_lazy(demo_repo):
+    import time
+
+    t = time.perf_counter()
+    SeismicWarehouse(demo_repo.root, mode="lazy")
+    lazy_s = time.perf_counter() - t
+    t = time.perf_counter()
+    SeismicWarehouse(demo_repo.root, mode="eager")
+    eager_s = time.perf_counter() - t
+    assert eager_s > lazy_s * 2, (
+        "eager initial loading must be substantially slower than "
+        f"metadata-only loading (lazy {lazy_s:.3f}s vs eager {eager_s:.3f}s)"
+    )
+
+
+def test_storage_blowup_shape(demo_repo, lazy_wh, eager_wh):
+    repo_bytes = lazy_wh.repository_bytes()
+    assert repo_bytes == demo_repo.total_bytes
+    # Metadata-only warehouse is much smaller than the repository...
+    assert lazy_wh.warehouse_bytes() < repo_bytes
+    # ...while the eager warehouse blows up several-fold (§4: 'up to 10x').
+    assert eager_wh.warehouse_bytes() > 5 * repo_bytes
+
+
+def test_browse_overview(lazy_wh):
+    text = browse.station_overview(lazy_wh)
+    assert "HGN" in text and "ISK" in text
+
+
+def test_browse_time_coverage(lazy_wh):
+    coverage = browse.time_coverage(lazy_wh, network="NL")
+    assert all(row["network"] == "NL" for row in coverage)
+    assert any(row["station"] == "HGN" for row in coverage)
+    assert coverage[0]["first"].startswith("2010-01-12")
+
+
+def test_browse_file_and_record_listing(lazy_wh):
+    files = browse.file_listing(lazy_wh, station="ISK", channel="BHE")
+    assert len(files) == 2  # two windows per stream in the fixture
+    uri = files[0][0]
+    records = browse.record_listing(lazy_wh, uri)
+    assert records[0][0] == 1  # seq_no starts at 1
+    assert len(records) == files[0][1]
+
+
+def test_browse_external_mode_message(external_wh):
+    assert "external" in browse.station_overview(external_wh)
+
+
+def test_files_extracted_introspection(lazy_wh):
+    lazy_wh.query(fig1_query1())
+    touched = lazy_wh.files_extracted_by_last_query()
+    assert len(touched) == 1
+
+
+def test_cache_property_modes(lazy_wh, external_wh):
+    assert lazy_wh.cache is not None
+    assert external_wh.cache is None
+
+
+def test_external_suite_adaptation():
+    from repro.seismology.queries import suite_for_external
+
+    suite = analytical_suite()
+    adapted = suite_for_external(suite)
+    assert len(adapted) == len(suite)
+    q8 = next(s for s in adapted if s.qid == "Q8")
+    assert "mseed.dataview" in q8.sql
+    assert not q8.metadata_only
+
+
+def test_defer_load(demo_repo):
+    wh = SeismicWarehouse(demo_repo.root, mode="lazy", defer_load=True)
+    assert wh.load_report is None
+    assert wh.query("SELECT COUNT(*) FROM mseed.files").scalar() == 0
+    wh.load()
+    assert wh.load_report is not None
+    assert wh.query("SELECT COUNT(*) FROM mseed.files").scalar() > 0
+
+
+def test_repr(lazy_wh):
+    assert "lazy" in repr(lazy_wh)
