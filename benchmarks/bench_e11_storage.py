@@ -1,0 +1,32 @@
+"""E11 — persistent storage: cold vs warm start, compression, lazy I/O."""
+
+from repro.bench.harness import run_e11
+from repro.seismology.queries import fig1_query1
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e11_storage_table(benchmark, demo_repo_path, tmp_path):
+    """Benchmarked unit: warm-starting a warehouse from a checkpoint."""
+    ckpt = tmp_path / "ckpt"
+    cold = SeismicWarehouse(demo_repo_path, mode="lazy", storage_path=ckpt)
+    q1 = fig1_query1()
+    cold.query(q1)
+    cold.checkpoint()
+
+    warm = benchmark(
+        lambda: SeismicWarehouse(demo_repo_path, mode="lazy",
+                                 storage_path=ckpt)
+    )
+    assert warm.load_report.strategy.endswith("+warm")
+    warm.query(q1)
+    # Zero re-extraction after restart: the reproduction target.
+    assert warm.files_extracted_by_last_query() == []
+    assert warm.cache.stats.hits > 0
+
+    # Column pruning reads fewer pages than a full-width scan.
+    warm.query("SELECT count(*) FROM mseed.files")
+    narrow = warm.db.last_report
+    assert narrow.pages_skipped > narrow.pages_read
+
+    table = run_e11()
+    print("\n" + table.render())

@@ -475,6 +475,98 @@ def run_e10() -> ExperimentTable:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E11 — persistent storage: warm starts, compression, lazy I/O
+# ---------------------------------------------------------------------------
+
+
+def run_e11() -> ExperimentTable:
+    """Storage engine: cold vs warm start, compression ratio, page pruning."""
+    import shutil
+    import tempfile
+
+    from repro.seismology.queries import fig1_query1
+
+    root, _manifest = shared_demo_repo()
+    ckpt = tempfile.mkdtemp(prefix="repro-e11-")
+    try:
+        table = ExperimentTable(
+            "E11", "persistent storage: warm starts, compression, lazy I/O",
+            ["phase", "ready-in", "query", "rows extracted",
+             "pages read/skipped", "cache hits"],
+        )
+        q1 = fig1_query1()
+
+        # Cold: harvest + first-query extraction, then checkpoint.
+        load_s, cold = _timed(
+            lambda: SeismicWarehouse(root, mode="lazy", storage_path=ckpt)
+        )
+        q_s, _ = _timed(lambda: cold.query(q1))
+        table.add_row(
+            "cold start", format_duration(load_s), format_duration(q_s),
+            cold.db.last_report.rows_extracted,
+            "-", cold.cache.stats.hits,
+        )
+        ckpt_s, entries = _timed(cold.checkpoint)
+
+        # Warm: attach the checkpoint, answer the same query from cache.
+        warm_s, warm = _timed(
+            lambda: SeismicWarehouse(root, mode="lazy", storage_path=ckpt)
+        )
+        wq_s, _ = _timed(lambda: warm.query(q1))
+        extracted_files = warm.files_extracted_by_last_query()
+        report = warm.db.last_report
+        table.add_row(
+            "warm start", format_duration(warm_s), format_duration(wq_s),
+            f"{len(extracted_files)} files re-extracted",
+            f"{report.pages_read}/{report.pages_skipped}",
+            warm.cache.stats.hits,
+        )
+
+        # Column pruning: project 1 column of the file-metadata table.
+        warm.query("SELECT count(*) FROM mseed.files")
+        narrow = warm.db.last_report
+        warm.query("SELECT * FROM mseed.files")
+        wide = warm.db.last_report
+        table.add_row(
+            "1-column scan", "-", "-", "-",
+            f"{narrow.pages_read}/{narrow.pages_skipped}", "-",
+        )
+        table.add_row(
+            "all-column scan", "-", "-", "-",
+            f"{wide.pages_read}/{wide.pages_skipped}", "-",
+        )
+
+        # Compression: checkpoint footprint vs resident warehouse bytes.
+        disk = warm.store.disk_bytes()
+        resident = cold.warehouse_bytes()
+        table.add_row(
+            "checkpoint", format_duration(ckpt_s), "-",
+            f"{entries} cache entries", "-", "-",
+        )
+        ratio = resident / max(disk, 1)
+        table.add_note(
+            f"checkpoint footprint: {format_bytes(disk)} on disk vs "
+            f"{format_bytes(resident)} resident — "
+            + (f"{ratio:.1f}x smaller on disk." if ratio >= 1
+               else f"{1 / max(ratio, 1e-9):.1f}x LARGER on disk.")
+        )
+        table.add_note(
+            "warm start restores prior extractions from the segment "
+            "snapshot: the repeated query is pure cache fetch — zero "
+            "re-extraction after a process restart (§3.3: materialisation "
+            "is simply caching, now durable)."
+        )
+        table.add_note(
+            "pages read/skipped counts segment pages: a narrow projection "
+            "reads only the projected columns' pages — lazy ETL extended "
+            "into lazy I/O."
+        )
+        return table
+    finally:
+        shutil.rmtree(ckpt, ignore_errors=True)
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E1": run_e1,
     "E2": run_e2,
@@ -486,4 +578,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E8": run_e8,
     "E9": run_e9,
     "E10": run_e10,
+    "E11": run_e11,
 }

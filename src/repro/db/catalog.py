@@ -102,6 +102,8 @@ class Catalog:
             DEFAULT_SCHEMA: SchemaEntry(DEFAULT_SCHEMA)
         }
         self._bindings: dict[str, LazyTableBinding] = {}
+        self._store = None  # TableStore set by attach()
+        self._checkpointed_versions: dict[str, int] = {}
 
     # -- schemas ---------------------------------------------------------------
 
@@ -289,3 +291,90 @@ class Catalog:
 
     def is_lazy(self, qualified_name: str) -> bool:
         return qualified_name in self._bindings
+
+    # -- persistent storage -----------------------------------------------------
+
+    @property
+    def store(self):
+        """The attached :class:`~repro.storage.store.TableStore`, if any."""
+        return self._store
+
+    def attach(self, storage, *,
+               bufferpool_bytes: int = 64 * 1024 * 1024):
+        """Attach a persistent table store and mount its tables.
+
+        ``storage`` is a directory path (a :class:`TableStore` is opened
+        there, created if absent) or an already-open store.  Each persisted
+        table is mounted *disk-backed*: its schema enters the catalog but
+        no column data is read — columns fault in lazily at scan time.  An
+        existing *empty* catalog table with a matching schema is backed in
+        place (the warm-start path, where DDL ran before ``attach``); an
+        existing *non-empty* table keeps its resident rows — memory wins,
+        and the next :meth:`checkpoint` overwrites the stored generation
+        (the re-checkpoint path of an eagerly loaded warehouse).
+        """
+        from repro.storage.store import TableStore
+
+        store = (storage if isinstance(storage, TableStore)
+                 else TableStore(storage, bufferpool_bytes=bufferpool_bytes))
+        if self._store is not None and self._store is not store:
+            raise CatalogError("a table store is already attached")
+        for qualified in store.table_names():
+            schema_name, table_name = self.split_name(
+                tuple(qualified.split("."))
+            )
+            self.create_schema(schema_name, if_not_exists=True)
+            entry = self._schema(schema_name)
+            stored_schema = store.schema_of(qualified)
+            table = entry.tables.get(table_name)
+            if table is None:
+                table = Table(qualified, stored_schema)
+                entry.tables[table_name] = table
+            else:
+                if table.disk_backing is not None:
+                    continue  # already mounted (re-attach is idempotent)
+                if table.row_count > 0:
+                    continue  # resident data wins; checkpoint overwrites
+                _check_schema_match(qualified, table.schema, stored_schema)
+            table.attach_backing(store.backing_for(qualified))
+        self._store = store
+        return store
+
+    def checkpoint(self) -> list[str]:
+        """Persist every mutated resident table to the attached store.
+
+        Returns the qualified names written.  Skips virtual tables (lazy
+        bindings have no rows of their own) and tables still disk-backed
+        with no mutations (their segment on disk is already current).
+        The manifest commits once, atomically, after all segments are
+        written.
+        """
+        if self._store is None:
+            raise CatalogError("no table store attached; call attach() first")
+        written: list[str] = []
+        for schema_entry in self._schemas.values():
+            for table in schema_entry.tables.values():
+                if getattr(table, "lazy_binding", None) is not None:
+                    continue
+                if table.disk_backing is not None:
+                    continue  # unchanged since it was mounted from disk
+                if (self._store.has_table(table.name)
+                        and self._checkpointed_versions.get(table.name)
+                        == table.version):
+                    continue  # already checkpointed at this version
+                self._store.save_table(table.name, table, commit=False)
+                self._checkpointed_versions[table.name] = table.version
+                written.append(table.name)
+        self._store.commit()
+        return written
+
+
+def _check_schema_match(qualified: str, existing: "TableSchema",
+                        stored: "TableSchema") -> None:
+    ours = [(c.name, c.dtype) for c in existing.columns]
+    theirs = [(c.name, c.dtype) for c in stored.columns]
+    if ours != theirs:
+        raise CatalogError(
+            f"stored schema of {qualified} does not match the catalog: "
+            f"{theirs} vs {ours}"
+        )

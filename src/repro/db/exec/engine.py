@@ -53,6 +53,10 @@ class QueryReport:
     rows_out: int = 0
     rows_extracted: int = 0
     operators_run: int = 0
+    # Disk-backed scan I/O (storage engine): pages fetched vs pages of
+    # columns the query never touched.
+    pages_read: int = 0
+    pages_skipped: int = 0
 
     @property
     def total_s(self) -> float:
@@ -164,6 +168,8 @@ class Database:
         report.rows_out = chunk.length
         report.rows_extracted = ctx.rows_extracted
         report.operators_run = ctx.operators_run
+        report.pages_read = ctx.pages_read
+        report.pages_skipped = ctx.pages_skipped
         self.last_trace = ctx.trace
         self.last_report = report
         self.oplog.record(
@@ -389,3 +395,24 @@ class Database:
     def warehouse_bytes(self) -> int:
         """Total resident bytes across all base tables (experiment E4)."""
         return sum(t.memory_bytes() for t in self.catalog.tables())
+
+    # -- persistent storage ----------------------------------------------------------
+
+    def attach(self, storage, *, bufferpool_bytes: int = 64 * 1024 * 1024):
+        """Attach a persistent table store (path or open TableStore).
+
+        Persisted tables become queryable immediately; their columns are
+        read from disk lazily, page by page, when scans need them.
+        """
+        store = self.catalog.attach(storage,
+                                    bufferpool_bytes=bufferpool_bytes)
+        self.oplog.record("storage", f"attached store at {store.root}",
+                          tables=len(store.table_names()))
+        return store
+
+    def checkpoint(self) -> list[str]:
+        """Persist mutated tables to the attached store (atomic commit)."""
+        written = self.catalog.checkpoint()
+        self.oplog.record("storage", "checkpoint",
+                          tables_written=len(written))
+        return written

@@ -64,7 +64,15 @@ class TableSchema:
 
 
 class Table:
-    """A base table with columnar storage."""
+    """A base table with columnar storage.
+
+    A table may be **disk-backed**: attached to a
+    :class:`~repro.storage.store.TableBacking` whose segment file holds
+    the rows.  Columns then fault in lazily on first access — the lazy-ETL
+    principle extended to I/O — and the first mutation materialises every
+    column and detaches the backing (copy-on-write semantics), so DML
+    behaves identically for resident and disk-backed tables.
+    """
 
     def __init__(self, name: str, schema: TableSchema) -> None:
         self.name = name
@@ -80,11 +88,62 @@ class Table:
             for spec in schema.columns
         }
         self._pk_index: set | None = set() if schema.primary_key else None
+        self._backing = None  # set via attach_backing()
+
+    # -- disk backing -----------------------------------------------------------
+
+    @property
+    def disk_backing(self):
+        """The storage backing, or ``None`` for purely resident tables."""
+        return self._backing
+
+    def attach_backing(self, backing) -> None:
+        """Make this (empty) table serve rows from a segment file."""
+        first = next(iter(self._columns.values()), None)
+        if first is not None and len(first):
+            raise CatalogError(
+                f"cannot attach storage to non-empty table {self.name}"
+            )
+        self._backing = backing
+        self._columns = {}
+        # The PK index covers only resident rows; it is rebuilt from the
+        # faulted columns when the first mutation materialises the table.
+        self._pk_index = None
+
+    def is_column_resident(self, name: str) -> bool:
+        return name in self._columns
+
+    def _fault_column(self, name: str) -> Column:
+        spec = self.schema.spec(name)  # raises CatalogError on unknown
+        column = self._backing.load_column(spec.name)
+        if column.dtype != spec.dtype:
+            raise CatalogError(
+                f"segment column {self.name}.{name} has dtype "
+                f"{column.dtype}, schema says {spec.dtype}"
+            )
+        self._columns[name] = column
+        return column
+
+    def _materialize_all(self) -> None:
+        """Fault in every column and detach the backing (before DML)."""
+        if self._backing is None:
+            return
+        for spec in self.schema.columns:
+            if spec.name not in self._columns:
+                self._fault_column(spec.name)
+        backing, self._backing = self._backing, None
+        backing.close()
+        if self.schema.primary_key:
+            self._pk_index = set(
+                self._pk_tuples(self._columns, self.row_count)
+            )
 
     # -- introspection --------------------------------------------------------
 
     @property
     def row_count(self) -> int:
+        if self._backing is not None:
+            return self._backing.row_count
         first = next(iter(self._columns.values()), None)
         return 0 if first is None else len(first)
 
@@ -92,13 +151,22 @@ class Table:
         try:
             return self._columns[name]
         except KeyError:
+            if self._backing is not None:
+                return self._fault_column(name)
             raise CatalogError(f"table {self.name} has no column {name!r}") from None
 
     def columns(self) -> dict[str, Column]:
+        if self._backing is not None:
+            return {spec.name: self.column(spec.name)
+                    for spec in self.schema.columns}
         return dict(self._columns)
 
     def memory_bytes(self) -> int:
-        """Resident bytes across all columns (experiment E4)."""
+        """Resident bytes across all columns (experiment E4).
+
+        For disk-backed tables only *faulted* columns count — pages still
+        on disk cost no memory, which is the point of the storage engine.
+        """
         return sum(col.memory_bytes() for col in self._columns.values())
 
     # -- mutation ---------------------------------------------------------------
@@ -128,6 +196,7 @@ class Table:
         count = lengths.pop()
         if count == 0:
             return 0
+        self._materialize_all()
         for name in self.schema.names:
             self._check_not_null(name, batch[name])
         if enforce_keys and self._pk_index is not None:
@@ -167,6 +236,7 @@ class Table:
         removed = int(mask.sum())
         if removed == 0:
             return 0
+        self._materialize_all()
         keep = ~mask
         if self._pk_index is not None:
             doomed = {name: self._columns[name].filter(mask)
@@ -183,6 +253,7 @@ class Table:
         touched = int(mask.sum())
         if touched == 0:
             return 0
+        self._materialize_all()
         if self._pk_index is not None and (
             set(assignments) & set(self.schema.primary_key)
         ):
@@ -207,6 +278,9 @@ class Table:
 
     def truncate(self) -> None:
         """Remove every row (fast reset used by eager re-loads)."""
+        if self._backing is not None:
+            backing, self._backing = self._backing, None
+            backing.close()
         for spec in self.schema.columns:
             self._columns[spec.name] = Column.from_numpy(
                 spec.dtype,
@@ -214,8 +288,7 @@ class Table:
                 if spec.dtype == DataType.VARCHAR
                 else np.empty(0),
             )
-        if self._pk_index is not None:
-            self._pk_index = set()
+        self._pk_index = set() if self.schema.primary_key else None
         self.version += 1
 
     def validate_foreign_keys(self, lookup) -> None:

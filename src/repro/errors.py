@@ -97,6 +97,19 @@ class TypeMismatchError(BindError):
 
 
 # ---------------------------------------------------------------------------
+# Persistent storage errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(DatabaseError):
+    """Base class for persistent-storage (segment/manifest) errors."""
+
+
+class CorruptSegmentError(StorageError):
+    """A segment page or footer failed checksum or structural validation."""
+
+
+# ---------------------------------------------------------------------------
 # ETL errors
 # ---------------------------------------------------------------------------
 

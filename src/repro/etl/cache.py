@@ -49,6 +49,7 @@ class CacheStats:
     evictions: int = 0
     stale_drops: int = 0
     widenings: int = 0
+    restored: int = 0  # entries re-admitted from a storage snapshot
 
     @property
     def hit_rate(self) -> float:
@@ -66,6 +67,9 @@ class ExtractionCache:
         self.policy = policy
         self._entries: "OrderedDict[tuple[str, int], CacheEntry]" = OrderedDict()
         self._file_mtime: dict[str, int] = {}
+        # Per-URI seq_no index so staleness drops and introspection are
+        # O(entries of that file), not O(all entries).
+        self._by_uri: dict[str, set[int]] = {}
         self._bytes = 0
         self._admission_counter = itertools.count(1)
         self.stats = CacheStats()
@@ -88,9 +92,9 @@ class ExtractionCache:
         return False
 
     def invalidate_file(self, uri: str) -> int:
-        doomed = [key for key in self._entries if key[0] == uri]
-        for key in doomed:
-            entry = self._entries.pop(key)
+        doomed = self._by_uri.pop(uri, None) or set()
+        for seq_no in doomed:
+            entry = self._entries.pop((uri, seq_no))
             self._bytes -= entry.nbytes
         self._file_mtime.pop(uri, None)
         if doomed:
@@ -100,6 +104,7 @@ class ExtractionCache:
     def clear(self) -> None:
         self._entries.clear()
         self._file_mtime.clear()
+        self._by_uri.clear()
         self._bytes = 0
         self.epoch += 1
 
@@ -122,19 +127,27 @@ class ExtractionCache:
     def put(self, uri: str, seq_no: int, mtime_ns: int,
             columns: dict[str, np.ndarray],
             *, cost_estimate: float = 1.0) -> bool:
-        """Admit (or widen) one record's transformed columns."""
+        """Admit (or widen) one record's transformed columns.
+
+        Widening merges the new columns over the cached ones.  If the
+        widened entry would exceed the whole budget, the admission is
+        rejected and the *previously cached entry stays intact* — an
+        over-budget widening must not lose columns that were already paid
+        for.
+        """
         key = (uri, seq_no)
         existing = self._entries.get(key)
         if existing is not None:
             merged = dict(existing.columns)
             merged.update(columns)
-            self._bytes -= existing.nbytes
-            self.stats.widenings += 1
             columns = merged
-            del self._entries[key]
         nbytes = sum(arr.nbytes for arr in columns.values())
         if nbytes > self.budget_bytes:
             return False
+        if existing is not None:
+            self._bytes -= existing.nbytes
+            self.stats.widenings += 1
+            del self._entries[key]
         self._entries[key] = CacheEntry(
             columns=columns,
             mtime_ns=mtime_ns,
@@ -143,6 +156,7 @@ class ExtractionCache:
             cost_estimate=cost_estimate,
         )
         self._file_mtime[uri] = mtime_ns
+        self._by_uri.setdefault(uri, set()).add(seq_no)
         self._bytes += nbytes
         self.stats.admissions += 1
         self.epoch += 1
@@ -153,9 +167,18 @@ class ExtractionCache:
         while self._bytes > self.budget_bytes and self._entries:
             victim = self._pick_victim()
             entry = self._entries.pop(victim)
+            self._drop_from_uri_index(victim)
             self._bytes -= entry.nbytes
             self.stats.evictions += 1
             self.epoch += 1
+
+    def _drop_from_uri_index(self, key: tuple[str, int]) -> None:
+        uri, seq_no = key
+        seqs = self._by_uri.get(uri)
+        if seqs is not None:
+            seqs.discard(seq_no)
+            if not seqs:
+                del self._by_uri[uri]
 
     def _pick_victim(self) -> tuple[str, int]:
         if self.policy in ("lru", "fifo"):
@@ -181,7 +204,7 @@ class ExtractionCache:
         return key in self._entries
 
     def cached_seq_nos(self, uri: str) -> list[int]:
-        return sorted(seq for (u, seq) in self._entries if u == uri)
+        return sorted(self._by_uri.get(uri, ()))
 
     def contents(self) -> list[tuple[str, int, int, int]]:
         """(uri, seq_no, bytes, hits) per entry, in eviction order."""
@@ -189,6 +212,52 @@ class ExtractionCache:
             (uri, seq, entry.nbytes, entry.hits)
             for (uri, seq), entry in self._entries.items()
         ]
+
+    # -- persistence (storage-engine warm starts) -----------------------------------
+
+    def export_entries(self) -> list[
+        tuple[str, int, int, float, dict[str, np.ndarray]]
+    ]:
+        """Snapshot every entry as ``(uri, seq, mtime_ns, cost, columns)``.
+
+        Eviction order is preserved so a restore replays admissions in
+        the same order and reproduces the LRU/FIFO state.
+        """
+        return [
+            (uri, seq_no, entry.mtime_ns, entry.cost_estimate,
+             dict(entry.columns))
+            for (uri, seq_no), entry in self._entries.items()
+        ]
+
+    def import_entries(
+        self,
+        entries: list[tuple[str, int, int, float, dict[str, np.ndarray]]],
+    ) -> int:
+        """Re-admit snapshot entries (budget and policy still apply)."""
+        restored = 0
+        for uri, seq_no, mtime_ns, cost, columns in entries:
+            if self.put(uri, seq_no, mtime_ns, columns,
+                        cost_estimate=cost):
+                restored += 1
+        # Restores are bookkeeping, not workload: keep admission counts
+        # meaningful for the eviction ablation.
+        self.stats.admissions -= restored
+        self.stats.restored += restored
+        return restored
+
+    def spill(self, store) -> int:
+        """Persist the cache into a table store's snapshot area.
+
+        ``store`` is a :class:`~repro.storage.store.TableStore` or a
+        directory path.  Returns the number of entries written.
+        """
+        store = _as_store(store)
+        return store.save_cache_snapshot(self.export_entries())
+
+    def restore(self, store) -> int:
+        """Warm-start from a snapshot written by :meth:`spill`."""
+        store = _as_store(store)
+        return self.import_entries(store.load_cache_snapshot())
 
     def render(self, max_rows: int = 20) -> str:
         lines = [
@@ -200,3 +269,13 @@ class ExtractionCache:
         if len(self) > max_rows:
             lines.append(f"  ... {len(self) - max_rows} more entries")
         return "\n".join(lines)
+
+
+def _as_store(store):
+    """Accept a TableStore or a directory path (lazy import: storage
+    depends on the db layer, never the reverse of this module)."""
+    from repro.storage.store import TableStore
+
+    if isinstance(store, TableStore):
+        return store
+    return TableStore(store)

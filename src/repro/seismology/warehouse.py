@@ -47,6 +47,8 @@ class SeismicWarehouse:
         enable_lazy_rewrite: bool = True,
         enable_pruning: bool = True,
         defer_load: bool = False,
+        storage_path: "str | os.PathLike | None" = None,
+        bufferpool_bytes: int = 64 * 1024 * 1024,
     ) -> None:
         if mode not in ("lazy", "eager", "external"):
             raise ETLError(f"unknown warehouse mode {mode!r}")
@@ -79,13 +81,36 @@ class SeismicWarehouse:
             self.pipeline = ExternalTableETL(self.db, self.repo,
                                              self.adapter, schema=schema)
 
-        self.pipeline.create_tables()
-        if mode == "external":
-            schema_mod.create_external_dataview(self.db, self.adapter, schema)
-        else:
+        self.store = None
+        if storage_path is not None:
+            from repro.storage.store import TableStore
+
+            self.store = TableStore(storage_path,
+                                    bufferpool_bytes=bufferpool_bytes)
+
+        if self._can_warm_start() and not defer_load:
+            # Restart from the checkpoint: attach persisted metadata and
+            # restore the extraction cache — no re-harvest, no re-ETL.
+            # (defer_load opts out: the caller wants an explicit, cold
+            # load() later, so the constructor must not populate tables.)
+            outcome = self.pipeline.warm_start(self.store)
+            self.load_report = outcome.report
             schema_mod.create_dataview(self.db, schema)
-        if not defer_load:
-            self.load()
+        else:
+            self.pipeline.create_tables()
+            if mode == "external":
+                schema_mod.create_external_dataview(self.db, self.adapter,
+                                                    schema)
+            else:
+                schema_mod.create_dataview(self.db, schema)
+            if not defer_load:
+                self.load()
+
+    def _can_warm_start(self) -> bool:
+        if self.store is None or self.mode != "lazy":
+            return False
+        return (self.store.has_table(f"{self.schema}.files")
+                and self.store.has_table(f"{self.schema}.records"))
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -97,6 +122,31 @@ class SeismicWarehouse:
         report.seconds = max(report.seconds, time.perf_counter() - started)
         self.load_report = report
         return report
+
+    def checkpoint(self, storage_path: "str | os.PathLike | None" = None
+                   ) -> int:
+        """Persist warehouse state for a warm restart.
+
+        Metadata tables (and, in eager mode, the data table) go to
+        compressed segment files; in lazy mode the extraction cache is
+        snapshotted too, so a fresh process re-answers past queries with
+        zero re-extraction.  Returns the number of cache entries spilled.
+        """
+        if storage_path is not None and self.store is None:
+            from repro.storage.store import TableStore
+
+            self.store = TableStore(storage_path)
+        if self.store is None:
+            raise ETLError(
+                "no storage attached: pass storage_path here or at "
+                "construction"
+            )
+        if self.mode == "lazy":
+            return self.pipeline.checkpoint(self.store)
+        if self.db.catalog.store is None:
+            self.db.attach(self.store)
+        self.db.checkpoint()
+        return 0
 
     def sync(self) -> SyncReport:
         """Refresh the warehouse after repository changes."""

@@ -1,0 +1,132 @@
+"""A byte-budgeted LRU buffer pool for segment pages.
+
+One pool is shared by every :class:`~repro.storage.segment.SegmentReader`
+of a :class:`~repro.storage.store.TableStore`, so the budget caps the
+*total* raw page bytes resident for that store — datasets larger than RAM
+stream through the pool instead of accumulating.
+
+Pages are keyed ``(segment path, byte offset)``.  A page may be *pinned*
+while a reader decodes from it; pinned pages are never evicted, and if
+every page is pinned the pool temporarily overcommits (correctness over
+budget) and trims back as soon as pins drop.
+
+Stale pages need no invalidation protocol: segment files are immutable
+generations (the store writes a fresh path per overwrite), so a key can
+never refer to changed bytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import StorageError
+
+PageKey = tuple[str, int]
+
+
+@dataclass
+class PoolStats:
+    """Counters the EXPLAIN/report surface exposes."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_reads: int = 0
+    bytes_read: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class BufferPool:
+    """LRU page cache with pin counts."""
+
+    def __init__(self, budget_bytes: int = 64 * 1024 * 1024) -> None:
+        if budget_bytes <= 0:
+            raise StorageError("buffer pool budget must be positive")
+        self.budget_bytes = budget_bytes
+        self._pages: "OrderedDict[PageKey, bytes]" = OrderedDict()
+        self._pins: dict[PageKey, int] = {}
+        self._bytes = 0
+        self.stats = PoolStats()
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, key: PageKey, loader: Callable[[], bytes],
+            *, pin: bool = False) -> bytes:
+        """Return the page, loading it on a miss via ``loader()``."""
+        self.stats.lookups += 1
+        page = self._pages.get(key)
+        if page is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(key)
+        else:
+            self.stats.misses += 1
+            page = loader()
+            self.stats.disk_reads += 1
+            self.stats.bytes_read += len(page)
+            self._pages[key] = page
+            self._bytes += len(page)
+        if pin:
+            self._pins[key] = self._pins.get(key, 0) + 1
+        self._evict_to_budget()
+        return page
+
+    def pin(self, key: PageKey, loader: Callable[[], bytes]) -> bytes:
+        return self.get(key, loader, pin=True)
+
+    def unpin(self, key: PageKey) -> None:
+        count = self._pins.get(key)
+        if count is None:
+            raise StorageError(f"unpin of unpinned page {key}")
+        if count <= 1:
+            del self._pins[key]
+        else:
+            self._pins[key] = count - 1
+        self._evict_to_budget()
+
+    def pin_count(self, key: PageKey) -> int:
+        return self._pins.get(key, 0)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def _evict_to_budget(self) -> None:
+        if self._bytes <= self.budget_bytes:
+            return
+        for key in list(self._pages):
+            if self._bytes <= self.budget_bytes:
+                break
+            if self._pins.get(key):
+                continue  # pinned pages are untouchable
+            page = self._pages.pop(key)
+            self._bytes -= len(page)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        if self._pins:
+            raise StorageError("cannot clear a pool with pinned pages")
+        self._pages.clear()
+        self._bytes = 0
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._pages
+
+    def render(self) -> str:
+        return (
+            f"buffer pool: {len(self)} pages, {self._bytes} / "
+            f"{self.budget_bytes} bytes, hit rate "
+            f"{self.stats.hit_rate:.0%} ({self.stats.disk_reads} disk reads)"
+        )

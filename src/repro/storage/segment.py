@@ -1,0 +1,237 @@
+"""Segment files: one file per table, page runs per column.
+
+Layout (all offsets from file start)::
+
+    [ SEGMENT_MAGIC | version u16 ]
+    [ page | page | page | ... ]                # column-major page runs
+    [ footer JSON (utf-8) ]
+    [ footer_len u32 | footer_crc u32 | "GESL" ]
+
+The footer directory maps each column to its page slots ``(offset,
+length, row_count)``.  :class:`SegmentReader` memory-maps the file and
+fetches pages *through the buffer pool* only when a query actually needs
+that column — the same lazy principle the ETL layer applies to files,
+extended to I/O: a scan projecting 1 of N columns reads 1/N of the pages.
+
+Writers build a temporary file and commit with ``os.replace`` so a crash
+mid-write never leaves a half-segment at the final path.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.db.column import Column
+from repro.errors import CorruptSegmentError, StorageError
+from repro.storage import format as fmt
+from repro.storage.bufferpool import BufferPool
+
+PAGE_ROWS = 16384
+"""Rows per page: small enough for fine-grained caching, large enough
+that page headers are noise."""
+
+_HEADER = struct.Struct("<6sH")
+
+
+@dataclass(frozen=True)
+class PageSlot:
+    """Directory entry for one page."""
+
+    offset: int
+    length: int
+    row_count: int
+
+
+class SegmentWriter:
+    """Write one table's columns into a segment file, then commit."""
+
+    def __init__(self, path: "str | os.PathLike",
+                 *, uniform: bool = True) -> None:
+        self.path = os.fspath(path)
+        self._tmp_path = self.path + ".tmp"
+        self._handle = open(self._tmp_path, "wb")
+        self._handle.write(_HEADER.pack(fmt.SEGMENT_MAGIC,
+                                        fmt.SEGMENT_VERSION))
+        self._directory: dict[str, list[PageSlot]] = {}
+        self._dtypes: dict[str, str] = {}
+        # Table segments require aligned columns; cache snapshots store
+        # one run per cached record, so their lengths legitimately vary.
+        self._uniform = uniform
+        self._row_count: int | None = None
+        self._raw_bytes = 0
+        self._finished = False
+
+    def write_column(self, name: str, column: Column,
+                     *, page_rows: int = PAGE_ROWS) -> None:
+        """Append one column as a run of encoded pages."""
+        if self._finished:
+            raise StorageError("segment writer already finished")
+        if name in self._directory:
+            raise StorageError(f"column {name!r} written twice")
+        if self._row_count is None:
+            self._row_count = len(column)
+        elif self._uniform and len(column) != self._row_count:
+            raise StorageError(
+                f"column {name!r} has {len(column)} rows, "
+                f"segment has {self._row_count}"
+            )
+        slots: list[PageSlot] = []
+        for start in range(0, max(len(column), 1), page_rows):
+            chunk = column.slice(start, min(start + page_rows, len(column)))
+            raw = fmt.encode_page(chunk)
+            offset = self._handle.tell()
+            self._handle.write(raw)
+            slots.append(PageSlot(offset, len(raw), len(chunk)))
+            self._raw_bytes += len(raw)
+        self._directory[name] = slots
+        self._dtypes[name] = fmt.dtype_name(column.dtype)
+
+    def finish(self) -> dict:
+        """Write the footer, fsync, and atomically publish the segment."""
+        if self._finished:
+            raise StorageError("segment writer already finished")
+        footer = {
+            "row_count": self._row_count or 0,
+            "columns": {
+                name: {
+                    "dtype": self._dtypes[name],
+                    "pages": [[s.offset, s.length, s.row_count]
+                              for s in slots],
+                }
+                for name, slots in self._directory.items()
+            },
+        }
+        encoded = json.dumps(footer, sort_keys=True).encode("utf-8")
+        self._handle.write(encoded)
+        self._handle.write(fmt.FOOTER_TRAILER.pack(
+            len(encoded),
+            zlib.crc32(encoded) & 0xFFFFFFFF,
+            fmt.FOOTER_END_MAGIC,
+        ))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        os.replace(self._tmp_path, self.path)
+        self._finished = True
+        return footer
+
+    def abort(self) -> None:
+        if not self._finished:
+            self._handle.close()
+            if os.path.exists(self._tmp_path):
+                os.remove(self._tmp_path)
+            self._finished = True
+
+
+class SegmentReader:
+    """Lazily read a segment's columns through a buffer pool."""
+
+    def __init__(self, path: "str | os.PathLike", pool: BufferPool) -> None:
+        self.path = os.fspath(path)
+        self.pool = pool
+        self._handle = open(self.path, "rb")
+        try:
+            self._mm = mmap.mmap(self._handle.fileno(), 0,
+                                 access=mmap.ACCESS_READ)
+        except ValueError:
+            self._handle.close()
+            raise CorruptSegmentError(f"segment {self.path} is empty")
+        self._directory: dict[str, list[PageSlot]] = {}
+        self._dtypes: dict[str, str] = {}
+        self.row_count = 0
+        self._parse_footer()
+
+    # -- structure -------------------------------------------------------------
+
+    def _parse_footer(self) -> None:
+        size = len(self._mm)
+        header_len = _HEADER.size
+        trailer_len = fmt.FOOTER_TRAILER.size
+        if size < header_len + trailer_len:
+            raise CorruptSegmentError(f"segment {self.path} truncated")
+        magic, version = _HEADER.unpack_from(self._mm, 0)
+        if magic != fmt.SEGMENT_MAGIC:
+            raise CorruptSegmentError(f"bad segment magic in {self.path}")
+        if version != fmt.SEGMENT_VERSION:
+            raise CorruptSegmentError(
+                f"unsupported segment version {version} in {self.path}"
+            )
+        footer_len, footer_crc, end_magic = fmt.FOOTER_TRAILER.unpack_from(
+            self._mm, size - trailer_len
+        )
+        if end_magic != fmt.FOOTER_END_MAGIC:
+            raise CorruptSegmentError(f"bad footer magic in {self.path}")
+        footer_start = size - trailer_len - footer_len
+        if footer_start < header_len:
+            raise CorruptSegmentError(f"footer overruns data in {self.path}")
+        encoded = bytes(self._mm[footer_start:footer_start + footer_len])
+        if zlib.crc32(encoded) & 0xFFFFFFFF != footer_crc:
+            raise CorruptSegmentError(f"footer checksum mismatch in {self.path}")
+        footer = json.loads(encoded.decode("utf-8"))
+        self.row_count = int(footer["row_count"])
+        for name, info in footer["columns"].items():
+            self._directory[name] = [
+                PageSlot(int(o), int(l), int(r)) for o, l, r in info["pages"]
+            ]
+            self._dtypes[name] = info["dtype"]
+
+    def column_names(self) -> list[str]:
+        return list(self._directory)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._directory
+
+    def pages_of(self, name: str) -> int:
+        """Number of pages backing one column."""
+        return len(self._directory.get(name, ()))
+
+    def total_pages(self) -> int:
+        return sum(len(slots) for slots in self._directory.values())
+
+    def column_disk_bytes(self, name: str) -> int:
+        return sum(s.length for s in self._directory.get(name, ()))
+
+    def disk_bytes(self) -> int:
+        return sum(self.column_disk_bytes(name) for name in self._directory)
+
+    # -- reading ---------------------------------------------------------------
+
+    def _load_slot(self, slot: PageSlot) -> bytes:
+        return bytes(self._mm[slot.offset:slot.offset + slot.length])
+
+    def read_column(self, name: str) -> Column:
+        """Materialise one column, page by page, through the pool.
+
+        Pages are pinned only while being decoded, so a scan wider than
+        the pool budget streams instead of failing.
+        """
+        slots = self._directory.get(name)
+        if slots is None:
+            raise StorageError(
+                f"segment {self.path} has no column {name!r}"
+            )
+        parts: list[Column] = []
+        for slot in slots:
+            key = (self.path, slot.offset)
+            raw = self.pool.pin(key, lambda s=slot: self._load_slot(s))
+            try:
+                parts.append(fmt.decode_page(raw))
+            finally:
+                self.pool.unpin(key)
+        if not parts:
+            return Column.from_values(fmt.dtype_from_name(self._dtypes[name]),
+                                      [])
+        return parts[0] if len(parts) == 1 else Column.concat(parts)
+
+    def close(self) -> None:
+        self._mm.close()
+        self._handle.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SegmentReader({self.path}, rows={self.row_count}, "
+                f"columns={len(self._directory)})")

@@ -1,0 +1,371 @@
+"""The TableStore: a directory of segment files plus an atomic manifest.
+
+Store layout::
+
+    <root>/
+      manifest.json            # schema manifest, committed atomically
+      <table>.<gen>.seg        # one segment file per persisted table
+      __cache__.<gen>.seg      # extraction-cache snapshot arrays
+
+The manifest records, per table, its qualified name, schema (column
+names/types/constraints), row count and segment file, plus free-form
+``meta`` keys (e.g. the lazy warehouse's harvest granularity) and the
+extraction-cache snapshot directory.  Commits write ``manifest.json.tmp``
+then ``os.replace`` it over the manifest — a crash before the rename
+leaves the previous manifest fully intact (tested by the crash
+simulation in ``tests/test_storage.py``).
+
+Segment files carry a monotone *generation* in their name so an
+overwritten table gets a fresh path: buffer-pool keys embed the path,
+hence stale pages of the replaced generation can never be served.
+Orphaned generations are deleted after a successful commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.db.column import Column
+from repro.db.table import ColumnSpec, ForeignKeySpec, Table, TableSchema
+from repro.errors import StorageError
+from repro.storage import format as fmt
+from repro.storage.bufferpool import BufferPool
+from repro.storage.segment import SegmentReader, SegmentWriter
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+_CACHE_SEGMENT = "__cache__"
+
+
+def _schema_to_json(schema: TableSchema) -> dict:
+    return {
+        "columns": [
+            {"name": c.name, "dtype": fmt.dtype_name(c.dtype),
+             "not_null": c.not_null}
+            for c in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+        "foreign_keys": [
+            {"columns": list(fk.columns), "ref_table": fk.ref_table,
+             "ref_columns": list(fk.ref_columns)}
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def _schema_from_json(data: dict) -> TableSchema:
+    return TableSchema(
+        columns=[
+            ColumnSpec(name=c["name"],
+                       dtype=fmt.dtype_from_name(c["dtype"]),
+                       not_null=bool(c.get("not_null", False)))
+            for c in data["columns"]
+        ],
+        primary_key=tuple(data.get("primary_key", ())),
+        foreign_keys=[
+            ForeignKeySpec(columns=tuple(fk["columns"]),
+                           ref_table=fk["ref_table"],
+                           ref_columns=tuple(fk["ref_columns"]))
+            for fk in data.get("foreign_keys", ())
+        ],
+    )
+
+
+class TableBacking:
+    """Disk residency of one table: what a lazy scan reads from.
+
+    Opens its segment reader on first use and counts pages so the engine
+    can report pages read vs skipped per scan.
+    """
+
+    def __init__(self, store: "TableStore", qualified_name: str,
+                 segment_file: str, row_count: int) -> None:
+        self.store = store
+        self.qualified_name = qualified_name
+        self.segment_file = segment_file
+        self.row_count = row_count
+        self._reader: Optional[SegmentReader] = None
+
+    @property
+    def reader(self) -> SegmentReader:
+        if self._reader is None:
+            self._reader = SegmentReader(
+                os.path.join(self.store.root, self.segment_file),
+                self.store.pool,
+            )
+        return self._reader
+
+    def load_column(self, name: str) -> Column:
+        return self.reader.read_column(name)
+
+    def pages_of(self, name: str) -> int:
+        return self.reader.pages_of(name)
+
+    def total_pages(self) -> int:
+        return self.reader.total_pages()
+
+    def disk_bytes(self) -> int:
+        return self.reader.disk_bytes()
+
+    def close(self) -> None:
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+
+
+class TableStore:
+    """Persist/load catalog tables and extraction-cache snapshots."""
+
+    def __init__(self, root: "str | os.PathLike",
+                 *, bufferpool_bytes: int = 64 * 1024 * 1024) -> None:
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.pool = BufferPool(bufferpool_bytes)
+        self._manifest: dict = {
+            "version": MANIFEST_VERSION,
+            "generation": 0,
+            "tables": {},
+            "cache": None,
+            "meta": {},
+        }
+        self._load_manifest()
+
+    # -- manifest ---------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def _load_manifest(self) -> None:
+        if not os.path.exists(self.manifest_path):
+            return
+        with open(self.manifest_path, "rb") as handle:
+            data = json.loads(handle.read().decode("utf-8"))
+        if data.get("version") != MANIFEST_VERSION:
+            raise StorageError(
+                f"unsupported manifest version {data.get('version')!r} "
+                f"in {self.manifest_path}"
+            )
+        self._manifest = data
+
+    def commit(self) -> None:
+        """Atomically publish the manifest, then sweep orphan segments."""
+        tmp_path = self.manifest_path + ".tmp"
+        encoded = json.dumps(self._manifest, sort_keys=True,
+                             indent=1).encode("utf-8")
+        with open(tmp_path, "wb") as handle:
+            handle.write(encoded)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.manifest_path)
+        self._sweep_orphans()
+
+    def _live_segments(self) -> set[str]:
+        live = {entry["segment"] for entry in self._manifest["tables"].values()}
+        cache = self._manifest.get("cache")
+        if cache is not None:
+            live.add(cache["segment"])
+        return live
+
+    def _sweep_orphans(self) -> None:
+        live = self._live_segments()
+        for name in os.listdir(self.root):
+            if not name.endswith(".seg"):
+                continue
+            if name not in live:
+                try:
+                    os.remove(os.path.join(self.root, name))
+                except OSError:  # pragma: no cover - best effort
+                    pass
+
+    def _next_generation(self) -> int:
+        self._manifest["generation"] = int(self._manifest["generation"]) + 1
+        return self._manifest["generation"]
+
+    # -- free-form metadata ----------------------------------------------------------
+
+    def set_meta(self, key: str, value) -> None:
+        self._manifest["meta"][key] = value
+
+    def get_meta(self, key: str, default=None):
+        return self._manifest["meta"].get(key, default)
+
+    # -- tables -----------------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        return sorted(self._manifest["tables"])
+
+    def has_table(self, qualified_name: str) -> bool:
+        return qualified_name in self._manifest["tables"]
+
+    def schema_of(self, qualified_name: str) -> TableSchema:
+        entry = self._entry(qualified_name)
+        return _schema_from_json(entry["schema"])
+
+    def row_count_of(self, qualified_name: str) -> int:
+        return int(self._entry(qualified_name)["row_count"])
+
+    def _entry(self, qualified_name: str) -> dict:
+        try:
+            return self._manifest["tables"][qualified_name]
+        except KeyError:
+            raise StorageError(
+                f"store has no table {qualified_name!r}"
+            ) from None
+
+    def save_table(self, qualified_name: str, table: Table,
+                   *, commit: bool = True) -> str:
+        """Write one table's columns as a fresh segment generation."""
+        generation = self._next_generation()
+        segment_file = f"{qualified_name}.{generation:08d}.seg"
+        writer = SegmentWriter(os.path.join(self.root, segment_file))
+        try:
+            for spec in table.schema.columns:
+                writer.write_column(spec.name, table.column(spec.name))
+            writer.finish()
+        except BaseException:
+            writer.abort()
+            raise
+        self._manifest["tables"][qualified_name] = {
+            "segment": segment_file,
+            "schema": _schema_to_json(table.schema),
+            "row_count": table.row_count,
+        }
+        if commit:
+            self.commit()
+        return segment_file
+
+    def drop_table(self, qualified_name: str, *, commit: bool = True) -> None:
+        self._manifest["tables"].pop(qualified_name, None)
+        if commit:
+            self.commit()
+
+    def backing_for(self, qualified_name: str) -> TableBacking:
+        entry = self._entry(qualified_name)
+        return TableBacking(self, qualified_name, entry["segment"],
+                            int(entry["row_count"]))
+
+    def table_disk_bytes(self, qualified_name: str) -> int:
+        entry = self._entry(qualified_name)
+        return os.path.getsize(os.path.join(self.root, entry["segment"]))
+
+    def disk_bytes(self) -> int:
+        return sum(self.table_disk_bytes(name) for name in self.table_names())
+
+    # -- extraction-cache snapshots ----------------------------------------------
+
+    def has_cache_snapshot(self) -> bool:
+        return self._manifest.get("cache") is not None
+
+    def save_cache_snapshot(
+        self,
+        entries: Iterable[tuple[str, int, int, float,
+                                dict[str, np.ndarray]]],
+        *, commit: bool = True,
+    ) -> int:
+        """Persist extraction-cache entries.
+
+        ``entries`` yields ``(uri, seq_no, mtime_ns, cost_estimate,
+        columns)``; array payloads go into one segment (reusing the page
+        codecs — sample data compresses like any other int64 column),
+        entry keys into the manifest.
+        """
+        generation = self._next_generation()
+        segment_file = f"{_CACHE_SEGMENT}.{generation:08d}.seg"
+        writer = SegmentWriter(os.path.join(self.root, segment_file),
+                               uniform=False)
+        directory: list[dict] = []
+        try:
+            count = 0
+            for uri, seq_no, mtime_ns, cost, columns in entries:
+                slot_columns = {}
+                for name, values in columns.items():
+                    slot = f"{count}/{name}"
+                    dtype = _np_to_sql_dtype(values)
+                    writer.write_column(
+                        slot,
+                        Column.from_numpy(dtype, np.asarray(values)),
+                        # Per-entry arrays are one record each; a single
+                        # page per array keeps restore exact and simple.
+                        page_rows=max(len(values), 1),
+                    )
+                    slot_columns[name] = slot
+                directory.append({
+                    "uri": uri, "seq_no": seq_no, "mtime_ns": mtime_ns,
+                    "cost": cost, "columns": slot_columns,
+                })
+                count += 1
+            if count == 0:
+                writer.abort()
+                self._manifest["cache"] = None
+            else:
+                writer.finish()
+                self._manifest["cache"] = {
+                    "segment": segment_file,
+                    "entries": directory,
+                }
+        except BaseException:
+            writer.abort()
+            raise
+        if commit:
+            self.commit()
+        return count
+
+    def load_cache_snapshot(
+        self,
+    ) -> list[tuple[str, int, int, float, dict[str, np.ndarray]]]:
+        """Read back the snapshot written by :meth:`save_cache_snapshot`."""
+        snapshot = self._manifest.get("cache")
+        if snapshot is None:
+            return []
+        reader = SegmentReader(
+            os.path.join(self.root, snapshot["segment"]), self.pool
+        )
+        try:
+            out = []
+            for entry in snapshot["entries"]:
+                columns = {
+                    name: reader.read_column(slot).values
+                    for name, slot in entry["columns"].items()
+                }
+                out.append((
+                    entry["uri"], int(entry["seq_no"]),
+                    int(entry["mtime_ns"]), float(entry["cost"]), columns,
+                ))
+            return out
+        finally:
+            reader.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TableStore({self.root}, tables={len(self.table_names())}, "
+                f"cache={'yes' if self.has_cache_snapshot() else 'no'})")
+
+
+# Cache snapshots carry raw NumPy arrays (not typed Columns); map their
+# physical dtype back to a SQL type for the page layer.
+_NP_TO_SQL = {
+    "int64": "bigint",
+    "float64": "double",
+    "bool": "boolean",
+    "object": "varchar",
+}
+
+
+def _np_to_sql_dtype(values: np.ndarray):
+    values = np.asarray(values)
+    name = _NP_TO_SQL.get(values.dtype.name)
+    if name is None:
+        # Unusual widths (int32 etc.) widen losslessly to int64/double.
+        if np.issubdtype(values.dtype, np.integer):
+            name = "bigint"
+        elif np.issubdtype(values.dtype, np.floating):
+            name = "double"
+        else:
+            raise StorageError(
+                f"cannot snapshot array of dtype {values.dtype}"
+            )
+    return fmt.dtype_from_name(name)

@@ -119,3 +119,46 @@ def test_clear():
 def test_unknown_policy_rejected():
     with pytest.raises(ETLError):
         ExtractionCache(policy="magic")
+
+
+def test_over_budget_widening_keeps_existing_entry():
+    """Regression: a widening that exceeds the whole budget used to drop
+    the previously cached columns before noticing it was over budget."""
+    base = _cols(n=10, names=("sample_value",))
+    entry_bytes = sum(a.nbytes for a in base.values())
+    cache = ExtractionCache(budget_bytes=entry_bytes + 8)
+    assert cache.put("f1", 1, 100, base)
+    huge = {"sample_time": np.arange(1000, dtype=np.int64)}
+    assert not cache.put("f1", 1, 100, huge)  # rejected: would not fit
+    # The original columns must still be served.
+    assert cache.get("f1", 1, ["sample_value"]) is not None
+    assert cache.used_bytes == entry_bytes
+    assert len(cache) == 1
+
+
+def test_rejected_widening_counts_no_widening():
+    cache = ExtractionCache(budget_bytes=160)
+    cache.put("f1", 1, 100, _cols(n=10, names=("sample_value",)))
+    cache.put("f1", 1, 100, _cols(n=1000, names=("sample_time",)))
+    assert cache.stats.widenings == 0
+
+
+def test_per_uri_index_tracks_all_mutation_paths():
+    entry_bytes = sum(a.nbytes for a in _cols().values())
+    cache = ExtractionCache(budget_bytes=entry_bytes * 2)
+    cache.put("a", 1, 1, _cols())
+    cache.put("b", 2, 1, _cols())
+    assert cache.cached_seq_nos("a") == [1]
+    assert cache.cached_seq_nos("b") == [2]
+    # Eviction must drop the index entry too.
+    cache.put("b", 3, 1, _cols())  # evicts ("a", 1) under LRU
+    assert cache.cached_seq_nos("a") == []
+    assert cache.cached_seq_nos("b") == [2, 3]
+    # Invalidation drops exactly that file's entries.
+    assert cache.invalidate_file("b") == 2
+    assert cache.cached_seq_nos("b") == []
+    assert len(cache) == 0
+    # Clear resets the index as well.
+    cache.put("c", 5, 1, _cols())
+    cache.clear()
+    assert cache.cached_seq_nos("c") == []
