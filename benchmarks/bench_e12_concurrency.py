@@ -1,0 +1,39 @@
+"""E12 — concurrent serving: throughput/p99 with coalesced lazy extraction."""
+
+from repro.bench.harness import run_e12
+from repro.seismology.warehouse import SeismicWarehouse
+
+
+def test_e12_concurrency_table(benchmark, demo_repo_path):
+    """Benchmarked unit: a 4-session coalesced burst over one warehouse.
+
+    Also regenerates the full E12 table (serial baseline, coalescing
+    ablation, 16-session run, warm pass) and asserts the acceptance
+    criterion: ≥2x throughput for 4 coalesced sessions vs serial
+    execution on multi-file queries.
+    """
+    sql = ("SELECT MIN(D.sample_value), MAX(D.sample_value), COUNT(*) "
+           "FROM mseed.dataview WHERE F.channel = 'BHZ'")
+
+    def burst():
+        wh = SeismicWarehouse(demo_repo_path, mode="lazy",
+                              cache_budget_bytes=64 * 1024)
+        with wh.serve(max_workers=4) as svc:
+            futures = [svc.session(f"s{i}").submit(sql) for i in range(4)]
+            outcomes = [f.result() for f in futures]
+        return outcomes
+
+    outcomes = benchmark.pedantic(burst, rounds=3, iterations=1)
+    assert len({tuple(o.result.rows()[0]) for o in outcomes}) == 1
+    # The four concurrent sessions shared extraction work.
+    assert sum(o.rows_coalesced for o in outcomes) > 0
+
+    table = run_e12(smoke=True)
+    print("\n" + table.render())
+    throughputs = {}
+    for row in table.rows:
+        key = (row[0], row[1])
+        throughputs[key] = float(row[3].split()[0])
+    serial = throughputs[("serial, constrained cache", "1")]
+    coalesced = throughputs[("service, coalescing, constrained cache", "4")]
+    assert coalesced >= 2.0 * serial, (serial, coalesced)

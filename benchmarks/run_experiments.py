@@ -5,16 +5,23 @@ Usage:
     python benchmarks/run_experiments.py            # print all tables
     python benchmarks/run_experiments.py E1 E4      # a subset
     python benchmarks/run_experiments.py --markdown EXPERIMENTS_MEASURED.md
+    python benchmarks/run_experiments.py --smoke --json-dir bench-results
+
+Every experiment also writes a machine-readable ``BENCH_<id>.json``
+(name, params, table rows, wall time) into ``--json-dir`` so the perf
+trajectory is tracked across PRs; pass ``--no-json`` to skip.  ``--smoke``
+runs reduced-parameter variants suitable for CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import platform
 import sys
 import time
 
-from repro.bench.harness import ALL_EXPERIMENTS
+from repro.bench.harness import ALL_EXPERIMENTS, SMOKE_EXPERIMENTS
 
 
 def main() -> int:
@@ -23,21 +30,43 @@ def main() -> int:
                         help="experiment ids (default: all)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write the tables as markdown")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced parameters (CI-sized runs)")
+    parser.add_argument("--json-dir", metavar="DIR",
+                        default="benchmarks/results",
+                        help="directory for BENCH_<id>.json artifacts "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the JSON artifacts")
     args = parser.parse_args()
 
-    wanted = args.experiments or list(ALL_EXPERIMENTS)
-    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    registry = SMOKE_EXPERIMENTS if args.smoke else ALL_EXPERIMENTS
+    wanted = args.experiments or list(registry)
+    unknown = [e for e in wanted if e not in registry]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
+
+    if not args.no_json:
+        os.makedirs(args.json_dir, exist_ok=True)
 
     tables = []
     for eid in wanted:
         started = time.perf_counter()
-        table = ALL_EXPERIMENTS[eid]()
+        table = registry[eid]()
         elapsed = time.perf_counter() - started
         print(table.render())
         print(f"  (experiment ran in {elapsed:.1f} s)\n")
         tables.append(table)
+        if not args.no_json:
+            path = os.path.join(args.json_dir, f"BENCH_{eid}.json")
+            table.to_json(
+                path,
+                params={"smoke": args.smoke},
+                elapsed_s=round(elapsed, 3),
+                python=platform.python_version(),
+                machine=platform.machine(),
+            )
+            print(f"  json written to {path}\n")
 
     if args.markdown:
         with open(args.markdown, "w") as handle:

@@ -21,6 +21,8 @@ Packages:
 * :mod:`repro.db` — the columnar SQL engine (MonetDB stand-in) with
   run-time plan rewriting and intermediate-result recycling;
 * :mod:`repro.etl` — the Lazy ETL core plus eager and external baselines;
+* :mod:`repro.service` — concurrent query serving: admission control,
+  session fairness, single-flight extraction coalescing;
 * :mod:`repro.seismology` — the demo application: schema, Figure-1
   queries, STA/LTA event hunting, metadata browsing;
 * :mod:`repro.bench` — workload generators and the experiment harness.
@@ -49,6 +51,7 @@ from repro.seismology import (
     fig1_query2,
     hunt_events,
 )
+from repro.service import ServiceConfig, WarehouseService
 
 __version__ = "1.0.0"
 
@@ -67,6 +70,8 @@ __all__ = [
     "SimulatedRemoteRepository",
     "build_repository",
     "SeismicWarehouse",
+    "ServiceConfig",
+    "WarehouseService",
     "analytical_suite",
     "fig1_query1",
     "fig1_query2",

@@ -567,6 +567,146 @@ def run_e11() -> ExperimentTable:
         shutil.rmtree(ckpt, ignore_errors=True)
 
 
+# ---------------------------------------------------------------------------
+# E12 — concurrent serving: throughput, tail latency, coalescing
+# ---------------------------------------------------------------------------
+
+
+def _e12_queries(streams: list[tuple[str, str]], agg: str) -> list[str]:
+    """One session's workload: ``agg`` over every stream (multi-file)."""
+    return [
+        (f"SELECT {agg}(D.sample_value), COUNT(*) FROM mseed.dataview "
+         f"WHERE F.station = '{station}' AND F.channel = '{channel}'")
+        for station, channel in streams
+    ]
+
+
+def _e12_percentile(latencies: list[float], q: float) -> float:
+    from repro.service.service import latency_percentile
+
+    return latency_percentile(latencies, q)
+
+
+def run_e12(*, smoke: bool = False) -> ExperimentTable:
+    """Concurrent query service: sessions share one warehouse.
+
+    Each session runs a *distinct* aggregate (so the plan-level recycler
+    cannot dedupe the work) over the *same* streams (so the record-level
+    extraction ranges overlap completely).  The extraction cache budget is
+    deliberately smaller than one query's extraction footprint — the
+    working-set-larger-than-memory regime — which makes the single-flight
+    coalescer the only mechanism that can share extraction work between
+    sessions.  Serial execution is the same total workload, one query at
+    a time, streams adjacent (the kindest possible ordering for a cache).
+    """
+    from repro.seismology.warehouse import SeismicWarehouse
+
+    root, manifest = shared_demo_repo()
+    streams = sorted({(e.station, e.channel) for e in manifest.entries})
+    streams = streams[: (2 if smoke else 6)]
+    aggs = ["MIN", "MAX", "AVG", "SUM"]
+    tiny_budget = 64 * 1024  # << one stream's extracted footprint
+
+    table = ExperimentTable(
+        "E12",
+        "concurrent serving: throughput / p99 under coalesced lazy extraction",
+        ["configuration", "sessions", "queries", "throughput",
+         "p50", "p99", "rows extracted", "rows shared"],
+    )
+
+    def measure_serial(cache_budget: int) -> dict:
+        wh = SeismicWarehouse(root, mode="lazy",
+                              cache_budget_bytes=cache_budget)
+        latencies, extracted, shared, n = [], 0, 0, 0
+        started = time.perf_counter()
+        # Stream-adjacent order: all aggregates of one stream in a row,
+        # the most cache-friendly serial schedule.
+        for stream in streams:
+            for agg in aggs:
+                sql = _e12_queries([stream], agg)[0]
+                q_s, _ = _timed(lambda s=sql: wh.query(s))
+                latencies.append(q_s)
+                extracted += wh.db.last_report.rows_extracted_here
+                shared += wh.db.last_report.rows_coalesced
+                n += 1
+        return {"elapsed": time.perf_counter() - started, "n": n,
+                "latencies": latencies, "extracted": extracted,
+                "shared": shared}
+
+    def measure_service(sessions: int, *, coalesce: bool, cache_budget: int,
+                        extract_workers: int = 0, prewarm: bool = False
+                        ) -> dict:
+        wh = SeismicWarehouse(root, mode="lazy",
+                              cache_budget_bytes=cache_budget)
+        if prewarm:
+            for agg in aggs:
+                for sql in _e12_queries(streams, agg):
+                    wh.query(sql)
+        with wh.serve(max_workers=min(sessions, 16), coalesce=coalesce,
+                      queue_depth=4096,
+                      extract_workers=extract_workers) as svc:
+            handles = [svc.session(f"s{i}") for i in range(sessions)]
+            started = time.perf_counter()
+            futures = []
+            # Interleave submissions stream-major so concurrent sessions'
+            # overlapping ranges are actually in flight together.
+            for qi in range(len(streams)):
+                for si, session in enumerate(handles):
+                    sql = _e12_queries([streams[qi]], aggs[si % len(aggs)])[0]
+                    futures.append(session.submit(sql))
+            outcomes = [f.result() for f in futures]
+            elapsed = time.perf_counter() - started
+            stats = svc.stats()
+        return {
+            "elapsed": elapsed, "n": len(outcomes),
+            "latencies": stats.latencies_s,
+            "extracted": sum(o.rows_extracted_here for o in outcomes),
+            "shared": sum(o.rows_coalesced for o in outcomes),
+        }
+
+    def add_row(label: str, sessions: object, run: dict) -> float:
+        qps = run["n"] / max(run["elapsed"], 1e-9)
+        table.add_row(
+            label, sessions, run["n"], f"{qps:.1f} q/s",
+            format_duration(_e12_percentile(run["latencies"], 50)),
+            format_duration(_e12_percentile(run["latencies"], 99)),
+            run["extracted"], run["shared"],
+        )
+        return qps
+
+    serial = measure_serial(tiny_budget)
+    serial_qps = add_row("serial, constrained cache", 1, serial)
+    add_row("service, no coalescing, constrained cache", 4,
+            measure_service(4, coalesce=False, cache_budget=tiny_budget))
+    coalesced_qps = add_row(
+        "service, coalescing, constrained cache", 4,
+        measure_service(4, coalesce=True, cache_budget=tiny_budget))
+    if not smoke:
+        add_row("service, coalescing, constrained cache", 16,
+                measure_service(16, coalesce=True, cache_budget=tiny_budget))
+        add_row("service, coalescing + parallel extraction", 4,
+                measure_service(4, coalesce=True, cache_budget=tiny_budget,
+                                extract_workers=4))
+    add_row("service, coalescing, warm cache", 4,
+            measure_service(4, coalesce=True,
+                            cache_budget=256 * 1024 * 1024, prewarm=True))
+    speedup = coalesced_qps / max(serial_qps, 1e-9)
+    table.add_note(
+        f"4 coalesced sessions vs serial on multi-file queries: "
+        f"{speedup:.1f}x throughput.  Sessions run distinct aggregates "
+        "(the recycler cannot help) over the same streams; with the cache "
+        "budget below one query's footprint, single-flight coalescing is "
+        "the only sharing mechanism — in-flight results travel through "
+        "the flight, no cache residency required."
+    )
+    table.add_note(
+        "'rows extracted' is work done by the reporting session itself; "
+        "'rows shared' arrived by waiting on another session's in-flight "
+        "extraction (the per-session QueryReport distinction)."
+    )
+    return table
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E1": run_e1,
     "E2": run_e2,
@@ -579,4 +719,15 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E9": run_e9,
     "E10": run_e10,
     "E11": run_e11,
+    "E12": run_e12,
+}
+
+# Reduced-parameter variants for CI smoke runs; experiments not listed
+# here run at full size even in smoke mode (they are already fast).
+SMOKE_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
+    **ALL_EXPERIMENTS,
+    "E1": lambda: run_e1(["S"]),
+    "E5": lambda: run_e5(queries=8, policies=("lru",)),
+    "E6": lambda: run_e6(modified_files=2),
+    "E12": lambda: run_e12(smoke=True),
 }

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 
@@ -29,6 +30,28 @@ class ExperimentTable:
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
+
+    def to_dict(self, **extra: object) -> dict:
+        """Machine-readable form (the ``BENCH_E*.json`` artifacts).
+
+        ``extra`` lets the runner attach environment/params/timing
+        metadata alongside the table itself.
+        """
+        payload: dict = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+        payload.update(extra)
+        return payload
+
+    def to_json(self, path: str, **extra: object) -> None:
+        """Write :meth:`to_dict` to ``path`` (tracked across PRs by CI)."""
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(**extra), handle, indent=2, default=str)
+            handle.write("\n")
 
     def markdown(self) -> str:
         lines = [f"### {self.experiment} — {self.title}", ""]

@@ -18,13 +18,18 @@ from repro.errors import ExecutionError
 class Column:
     """One column of a (intermediate) result: dtype + values + null mask."""
 
-    __slots__ = ("dtype", "values", "valid")
+    __slots__ = ("dtype", "values", "valid", "_mem_bytes", "_dict")
 
     def __init__(self, dtype: DataType, values: np.ndarray,
                  valid: np.ndarray | None = None) -> None:
         self.dtype = dtype
         self.values = values
         self.valid = valid
+        self._mem_bytes: int | None = None  # lazy memory_bytes() cache
+        # Optional precomputed dictionary (codes, sorted uniques) — set by
+        # producers that know the value runs (lazy fetch assembly) and
+        # consumed by joins to skip re-factorizing wide key columns.
+        self._dict: tuple[np.ndarray, list] | None = None
         if valid is not None and len(valid) != len(values):
             raise ExecutionError("null mask length does not match values")
 
@@ -159,41 +164,89 @@ class Column:
         """Approximate resident bytes (drives cache budgets and exp. E4).
 
         VARCHAR columns count one 8-byte reference per row plus each
-        *distinct* string payload once — repeated values share one Python
-        object, matching what a dictionary-encoded column store stores.
+        *distinct* string payload once, matching what a
+        dictionary-encoded column store stores.  Cached per instance
+        (columns are immutable by convention) — this runs on every
+        recycler admission, squarely on the concurrent serving hot path.
         """
+        if self._mem_bytes is not None:
+            return self._mem_bytes
         if self.dtype == DataType.VARCHAR:
-            seen: set[int] = set()
-            payload = 0
-            for value in self.values:
-                key = id(value)
-                if key not in seen:
-                    seen.add(key)
-                    payload += len(value)
+            # set() dedups at C speed; the big arrays here are join keys
+            # with very few distinct values.
+            payload = sum(map(len, set(self.values.tolist())))
             total = self.values.size * 8 + payload
         else:
             total = self.values.nbytes
         if self.valid is not None:
             total += self.valid.nbytes
-        return int(total)
+        if self._dict is not None:
+            total += self._dict[0].nbytes  # resident dictionary codes
+        self._mem_bytes = int(total)
+        return self._mem_bytes
 
     def factorize(self) -> tuple[np.ndarray, int]:
         """Map values to dense integer codes; NULL becomes code -1.
 
         Codes follow sort order of the distinct values, which keeps ORDER BY
         on dictionary codes consistent with value order.  Returns
-        ``(codes, n_distinct)``.
+        ``(codes, bound)`` where ``bound`` is an exclusive upper bound for
+        the codes — the exact distinct count for strings and floats, and a
+        (possibly sparse) value-range bound for narrow integer columns,
+        which join/group-by code combination handles identically while
+        skipping the O(n log n) sort on the hot lazy-join path.
         """
         if self.dtype == DataType.VARCHAR:
-            # np.unique on object arrays works but is slower; go through str.
-            as_str = np.array([str(v) for v in self.values], dtype=object)
-            uniques, codes = np.unique(as_str.astype(str), return_inverse=True)
+            codes, uniques = self.dictionary()
+            n_distinct = len(uniques)
+            if self.valid is not None:
+                codes = codes.copy()  # never mutate the cached codes
+        elif (self.values.dtype.kind in "iu" and len(self.values)
+              and int(self.values.max()) - int(self.values.min()) < (1 << 21)):
+            # Narrow integer range (seq_no, timestamps within a window):
+            # order-preserving offset codes, no sort needed.
+            lo = int(self.values.min())
+            codes = self.values.astype(np.int64) - lo
+            n_distinct = int(codes.max()) + 1
         else:
             uniques, codes = np.unique(self.values, return_inverse=True)
-        codes = codes.astype(np.int64)
+            codes = codes.astype(np.int64)
+            n_distinct = len(uniques)
         if self.valid is not None:
             codes[~self.valid] = -1
-        return codes, len(uniques)
+        return codes, n_distinct
+
+    def dictionary(self) -> tuple[np.ndarray, list]:
+        """``(codes, sorted uniques)`` for a VARCHAR column, cached.
+
+        Producers that know the value runs (lazy fetch assembly) pre-set
+        this via :meth:`set_dictionary`; otherwise it is computed once at
+        C speed (set/map/fromiter — np.unique on object arrays falls back
+        to per-element Python comparisons).  NULL rows carry the code of
+        their placeholder value; :meth:`factorize` overlays -1.
+        """
+        if self._dict is not None:
+            return self._dict
+        if self.dtype != DataType.VARCHAR:
+            raise ExecutionError("dictionary() requires a VARCHAR column")
+        vals = self.values.tolist()
+        try:
+            uniques = sorted(set(vals))
+        except TypeError:
+            # Mixed non-string payloads: coerce like str(v) always did.
+            vals = list(map(str, vals))
+            uniques = sorted(set(vals))
+        lookup = {v: i for i, v in enumerate(uniques)}
+        codes = np.fromiter(map(lookup.__getitem__, vals),
+                            dtype=np.int64, count=len(vals))
+        self._dict = (codes, uniques)
+        self._mem_bytes = None  # codes are resident: re-account on demand
+        return self._dict
+
+    def set_dictionary(self, codes: np.ndarray, uniques: list) -> None:
+        """Install a precomputed dictionary (see :meth:`dictionary`)."""
+        self._dict = (codes, uniques)
+        self._mem_bytes = None  # codes are resident: re-account on demand
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         preview = ", ".join(str(self.value_at(i)) for i in range(min(5, len(self))))

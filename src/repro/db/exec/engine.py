@@ -57,6 +57,11 @@ class QueryReport:
     # columns the query never touched.
     pages_read: int = 0
     pages_skipped: int = 0
+    # Concurrent serving: rows this query's session extracted itself vs
+    # rows it obtained by waiting on another session's in-flight
+    # extraction (single-flight coalescing).
+    rows_extracted_here: int = 0
+    rows_coalesced: int = 0
 
     @property
     def total_s(self) -> float:
@@ -150,6 +155,26 @@ class Database:
         return naive, optimized, physical
 
     def _run_select(self, stmt: ast.SelectStmt, sql: str) -> Result:
+        result, _report, _trace = self._execute_select(stmt, sql)
+        return result
+
+    def query_with_report(self, sql: str) -> tuple[Result, QueryReport,
+                                                   list[dict]]:
+        """Run a SELECT and return its private report and trace.
+
+        This is the concurrency-safe entry point the query service uses:
+        each call gets its own :class:`QueryReport` and trace list, so
+        parallel sessions never read each other's ``last_report``.  (The
+        ``last_*`` introspection attributes are still updated — they are
+        last-writer-wins under concurrency, by design.)
+        """
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SQLError("query_with_report() requires a SELECT statement")
+        return self._execute_select(stmt, sql)
+
+    def _execute_select(self, stmt: ast.SelectStmt, sql: str
+                        ) -> tuple[Result, QueryReport, list[dict]]:
         report = QueryReport(sql=sql)
         started = time.perf_counter()
         naive, optimized, physical = self._compile(stmt)
@@ -170,6 +195,11 @@ class Database:
         report.operators_run = ctx.operators_run
         report.pages_read = ctx.pages_read
         report.pages_skipped = ctx.pages_skipped
+        for entry in ctx.trace:
+            if entry.get("op") == "extract":
+                report.rows_extracted_here += entry.get("rows", 0)
+            elif entry.get("op") == "extract_wait":
+                report.rows_coalesced += entry.get("rows", 0)
         self.last_trace = ctx.trace
         self.last_report = report
         self.oplog.record(
@@ -180,7 +210,7 @@ class Database:
         )
         names = [c.name for c in optimized.output]
         columns = [chunk.columns[c.cid] for c in optimized.output]
-        return Result(names, columns)
+        return Result(names, columns), report, ctx.trace
 
     def _explain_select(self, stmt: ast.SelectStmt) -> str:
         naive, optimized, physical = self._compile(stmt)

@@ -17,6 +17,7 @@ signature* of the plan fragment that produced them, with
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -38,6 +39,12 @@ class RecyclerEntry:
     admitted_at: float
     cost_estimate: float = 1.0
     hits: int = 0
+    # Repository files the cached result was derived from, as
+    # ``uri -> (repository, mtime_ns at admission)``.  Validated on every
+    # lookup: a signature's cache epoch can only reflect changes the
+    # extraction cache has *noticed*, so results admitted by pure
+    # cache-hit queries additionally pin the source files' mtimes.
+    depends: Optional[dict] = None
 
 
 @dataclass
@@ -47,6 +54,7 @@ class RecyclerStats:
     admissions: int = 0
     evictions: int = 0
     rejected: int = 0
+    stale_drops: int = 0  # entries dropped by source-file validation
 
     @property
     def hit_rate(self) -> float:
@@ -64,38 +72,83 @@ class Recycler:
         self.policy = policy
         self._entries: "OrderedDict[str, RecyclerEntry]" = OrderedDict()
         self._bytes = 0
+        # Shared by every session of a concurrent query service; columns
+        # are immutable once admitted, so a lock around the map suffices.
+        self._lock = threading.RLock()
         self.stats = RecyclerStats()
 
     # -- core ------------------------------------------------------------------
 
     def lookup(self, signature: str) -> Optional[tuple[list[Column], int]]:
-        self.stats.lookups += 1
-        entry = self._entries.get(signature)
-        if entry is None:
+        full = self.lookup_validated(signature)
+        return None if full is None else (full[0], full[1])
+
+    def lookup_validated(self, signature: str
+                         ) -> Optional[tuple[list[Column], int, dict]]:
+        """Lookup plus source-file freshness validation.
+
+        Lazy-fetch-derived entries record the (uri, mtime) of every
+        repository file they were computed from; a hit re-stats those
+        files (microseconds, proportional to the query's file set) and a
+        mismatch — or a vanished file — drops the entry and reports a
+        miss, forcing re-extraction through the staleness-aware path.
+        """
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get(signature)
+            if entry is None:
+                return None
+            depends = dict(entry.depends) if entry.depends else None
+        # Stat the source files OUTSIDE the lock: one slow stat must not
+        # stall every other session's recycler traffic.
+        if not self._depends_fresh(depends):
+            with self._lock:
+                if self._entries.get(signature) is entry:
+                    self._entries.pop(signature)
+                    self._bytes -= entry.nbytes
+                    self.stats.stale_drops += 1
             return None
-        self.stats.hits += 1
-        entry.hits += 1
-        if self.policy == "lru":
-            self._entries.move_to_end(signature)
-        return entry.columns, entry.length
+        with self._lock:
+            if self._entries.get(signature) is not entry:
+                return None  # replaced/evicted while validating: miss
+            self.stats.hits += 1
+            entry.hits += 1
+            if self.policy == "lru":
+                self._entries.move_to_end(signature)
+            return entry.columns, entry.length, entry.depends or {}
+
+    @staticmethod
+    def _depends_fresh(depends: Optional[dict]) -> bool:
+        if not depends:
+            return True
+        for uri, (repo, mtime_ns) in depends.items():
+            try:
+                if repo.stat(uri).mtime_ns != mtime_ns:
+                    return False
+            except Exception:
+                return False  # vanished / unreadable: treat as changed
+        return True
 
     def admit(self, signature: str, columns: list[Column], length: int,
-              *, cost_estimate: float = 1.0) -> bool:
+              *, cost_estimate: float = 1.0,
+              depends: Optional[dict] = None) -> bool:
         nbytes = sum(col.memory_bytes() for col in columns)
-        if nbytes > self.budget_bytes:
-            self.stats.rejected += 1
-            return False
-        if signature in self._entries:
-            old = self._entries.pop(signature)
-            self._bytes -= old.nbytes
-        self._entries[signature] = RecyclerEntry(
-            columns=columns, length=length, nbytes=nbytes,
-            admitted_at=time.time(), cost_estimate=cost_estimate,
-        )
-        self._bytes += nbytes
-        self.stats.admissions += 1
-        self._evict_to_budget()
-        return True
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                self.stats.rejected += 1
+                return False
+            if signature in self._entries:
+                old = self._entries.pop(signature)
+                self._bytes -= old.nbytes
+            self._entries[signature] = RecyclerEntry(
+                columns=columns, length=length, nbytes=nbytes,
+                admitted_at=time.time(), cost_estimate=cost_estimate,
+                depends=depends,
+            )
+            self._bytes += nbytes
+            self.stats.admissions += 1
+            self._evict_to_budget()
+            return True
 
     def _evict_to_budget(self) -> None:
         while self._bytes > self.budget_bytes and self._entries:
@@ -121,16 +174,18 @@ class Recycler:
     # -- maintenance ---------------------------------------------------------------
 
     def invalidate_all(self) -> None:
-        self._entries.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
 
     def invalidate_matching(self, fragment: str) -> int:
         """Drop entries whose signature mentions ``fragment``."""
-        doomed = [sig for sig in self._entries if fragment in sig]
-        for sig in doomed:
-            entry = self._entries.pop(sig)
-            self._bytes -= entry.nbytes
-        return len(doomed)
+        with self._lock:
+            doomed = [sig for sig in self._entries if fragment in sig]
+            for sig in doomed:
+                entry = self._entries.pop(sig)
+                self._bytes -= entry.nbytes
+            return len(doomed)
 
     @property
     def used_bytes(self) -> int:
@@ -141,10 +196,11 @@ class Recycler:
 
     def contents(self) -> list[tuple[str, int, int]]:
         """(signature, rows, bytes) per entry — demo capability (7)."""
-        return [
-            (sig, entry.length, entry.nbytes)
-            for sig, entry in self._entries.items()
-        ]
+        with self._lock:
+            return [
+                (sig, entry.length, entry.nbytes)
+                for sig, entry in self._entries.items()
+            ]
 
 
 # ---------------------------------------------------------------------------

@@ -78,6 +78,10 @@ class ExecutionContext:
     # pages whose columns the query never touched (lazy I/O savings).
     pages_read: int = 0
     pages_skipped: int = 0
+    # Repository files this query's lazy fetches were derived from
+    # (uri -> (repository, mtime_ns)); recycler admissions pin them so a
+    # later file change can never be served from a cached intermediate.
+    file_deps: dict = field(default_factory=dict)
 
 
 class PhysicalNode:
@@ -96,9 +100,13 @@ class PhysicalNode:
     def execute(self, ctx: ExecutionContext) -> Chunk:
         ctx.operators_run += 1
         if self.signature is not None and ctx.recycler is not None:
-            cached = ctx.recycler.lookup(self.signature)
+            cached = ctx.recycler.lookup_validated(self.signature)
             if cached is not None:
-                columns, length = cached
+                columns, length, depends = cached
+                # Propagate the hit's file dependencies: an enclosing
+                # recyclable node must pin them too, or a later admit
+                # above this hit would lose the staleness anchor.
+                ctx.file_deps.update(depends)
                 ctx.trace.append(
                     {"op": "recycler_hit", "node": type(self).__name__,
                      "signature": self.signature[:60]}
@@ -115,6 +123,7 @@ class PhysicalNode:
                 self.signature,
                 [chunk.columns[c.cid] for c in self.schema],
                 chunk.length,
+                depends=dict(ctx.file_deps) if ctx.file_deps else None,
             )
         return chunk
 
@@ -127,30 +136,106 @@ class PhysicalNode:
 # ---------------------------------------------------------------------------
 
 
+_CODE_BOUND_LIMIT = 1 << 62
+"""Combined-code headroom: densify before the bound product can wrap."""
+
+
+def _densify_codes(codes: np.ndarray) -> tuple[np.ndarray, int]:
+    """Re-rank sparse codes densely (order-preserving; -1 stays -1).
+
+    factorize() may return sparse range-bounds for integer columns;
+    chaining several wide-range key columns could overflow int64, so the
+    combiners compress the running codes before that can happen.
+    """
+    uniques, inverse = np.unique(codes, return_inverse=True)
+    inverse = inverse.astype(np.int64)
+    if uniques.size and uniques[0] == -1:
+        # -1 sorts first: shift it back out of the dense code space.
+        inverse -= 1
+        return inverse, int(uniques.size) - 1
+    return inverse, int(uniques.size)
+
+
 def _combined_codes(columns: list[Column]) -> np.ndarray:
     """Factorize multi-column keys into one int64 code; NULL rows get -1."""
     if not columns:
         raise ExecutionError("join requires at least one key column")
     combined: Optional[np.ndarray] = None
+    bound = 1
     for col in columns:
         codes, count = col.factorize()
         if combined is None:
             combined = codes.copy()
+            bound = count
         else:
+            if bound * (count + 1) >= _CODE_BOUND_LIMIT:
+                combined, bound = _densify_codes(combined)
             null_mask = (combined < 0) | (codes < 0)
             combined = combined * (count + 1) + codes
             combined[null_mask] = -1
+            bound = bound * (count + 1) + count
     assert combined is not None
     return combined
+
+
+def _pair_codes(left: Column, right: Column
+                ) -> tuple[np.ndarray, np.ndarray, int]:
+    """Shared-space codes for one join key column pair.
+
+    Null-free VARCHAR pairs merge the two sides' (cached) dictionaries
+    and remap codes with one vectorised fancy-index each — the wide lazy
+    side never gets re-factorized per query.  Everything else falls back
+    to concat-and-factorize.
+    """
+    if (left.dtype == DataType.VARCHAR and left.valid is None
+            and right.valid is None):
+        left_codes, left_uniques = left.dictionary()
+        right_codes, right_uniques = right.dictionary()
+        if left_uniques == right_uniques:
+            return left_codes, right_codes, len(left_uniques)
+        union = sorted(set(left_uniques) | set(right_uniques))
+        position = {value: i for i, value in enumerate(union)}
+        left_map = np.fromiter((position[v] for v in left_uniques),
+                               dtype=np.int64, count=len(left_uniques))
+        right_map = np.fromiter((position[v] for v in right_uniques),
+                                dtype=np.int64, count=len(right_uniques))
+        return left_map[left_codes], right_map[right_codes], len(union)
+    merged = Column.concat([left, right])
+    codes, count = merged.factorize()
+    split = len(left)
+    return codes[:split], codes[split:], count
 
 
 def _factorize_pair(left: list[Column], right: list[Column]
                     ) -> tuple[np.ndarray, np.ndarray]:
     """Factorize left/right key sets in a shared dictionary space."""
-    merged = [Column.concat([l, r]) for l, r in zip(left, right)]
-    codes = _combined_codes(merged)
-    split = len(left[0]) if left else 0
-    return codes[:split], codes[split:]
+    if not left:
+        raise ExecutionError("join requires at least one key column")
+    combined_l: Optional[np.ndarray] = None
+    combined_r: Optional[np.ndarray] = None
+    bound = 1
+    for l_col, r_col in zip(left, right):
+        lc, rc, count = _pair_codes(l_col, r_col)
+        if combined_l is None:
+            combined_l = lc.copy()
+            combined_r = rc.copy()
+            bound = count
+        else:
+            if bound * (count + 1) >= _CODE_BOUND_LIMIT:
+                # Densify both sides in one shared code space.
+                merged, bound = _densify_codes(
+                    np.concatenate([combined_l, combined_r]))
+                split = len(combined_l)
+                combined_l, combined_r = merged[:split], merged[split:]
+            null_l = (combined_l < 0) | (lc < 0)
+            null_r = (combined_r < 0) | (rc < 0)
+            combined_l = combined_l * (count + 1) + lc
+            combined_r = combined_r * (count + 1) + rc
+            combined_l[null_l] = -1
+            combined_r[null_r] = -1
+            bound = bound * (count + 1) + count
+    assert combined_l is not None and combined_r is not None
+    return combined_l, combined_r
 
 
 def join_indices(left_keys: list[Column], right_keys: list[Column]
@@ -180,6 +265,25 @@ def join_indices(left_keys: list[Column], right_keys: list[Column]
     else:
         right_idx = np.zeros(0, dtype=np.int64)
     return left_idx, right_idx, counts
+
+
+def _collect_file_deps(ctx: ExecutionContext, trace_start: int,
+                       binding) -> None:
+    """Record which repository files (at which mtime) a lazy fetch used.
+
+    The binding's trace entries carry ``file``/``mtime_ns`` for every
+    record served from cache, extracted here, or shared from another
+    session's flight; recycler admissions pin these so cached
+    intermediates can never outlive a file change.
+    """
+    repo = getattr(binding, "repo", None)
+    if repo is None:
+        return
+    for entry in ctx.trace[trace_start:]:
+        uri = entry.get("file")
+        mtime_ns = entry.get("mtime_ns")
+        if uri is not None and mtime_ns is not None:
+            ctx.file_deps[uri] = (repo, mtime_ns)
 
 
 # ---------------------------------------------------------------------------
@@ -279,8 +383,10 @@ class PScanAll(PhysicalNode):
 
     def _run(self, ctx: ExecutionContext) -> Chunk:
         started = time.perf_counter()
+        trace_start = len(ctx.trace)
         named = self.binding.scan_all([c.name for c in self.schema], ctx.trace)
         elapsed = time.perf_counter() - started
+        _collect_file_deps(ctx, trace_start, self.binding)
         length = len(next(iter(named.values()))) if named else 0
         ctx.rows_extracted += length
         ctx.oplog.record(
@@ -554,14 +660,18 @@ class PAggregate(PhysicalNode):
                 codes, return_index=True, return_inverse=True
             )
             n_groups = len(uniques)
+            order = np.argsort(inverse, kind="stable")
+            starts = np.searchsorted(inverse[order], np.arange(n_groups),
+                                     side="left")
         else:
+            # Global aggregate: one group containing every row, already
+            # "sorted" — skip the argsort (hot in concurrent serving).
             group_values = []
             first = np.zeros(0, dtype=np.int64)
             inverse = np.zeros(length, dtype=np.int64)
             n_groups = 1
-
-        order = np.argsort(inverse, kind="stable")
-        starts = np.searchsorted(inverse[order], np.arange(n_groups), side="left")
+            order = np.arange(length, dtype=np.int64)
+            starts = np.zeros(1, dtype=np.int64)
 
         columns = {}
         for out, group_col in zip(self.group_cols, group_values):
@@ -734,9 +844,11 @@ class PLazyFetch(PhysicalNode):
             "time_bounds": node.time_bounds,
         })
         started = time.perf_counter()
+        trace_start = len(ctx.trace)
         named = binding.fetch(keys, list(node.needed), node.time_bounds,
                               ctx.trace)
         elapsed = time.perf_counter() - started
+        _collect_file_deps(ctx, trace_start, binding)
         lazy_len = len(next(iter(named.values()))) if named else 0
         ctx.rows_extracted += lazy_len
         ctx.oplog.record(

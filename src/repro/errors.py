@@ -118,6 +118,10 @@ class ETLError(ReproError):
     """Base class for extract/transform/load errors."""
 
 
+class CacheInvariantError(ETLError):
+    """The extraction cache's internal bookkeeping is inconsistent."""
+
+
 class ExtractionError(ETLError):
     """Extraction from a source file failed."""
 
@@ -128,3 +132,20 @@ class TransformError(ETLError):
 
 class StalenessError(ETLError):
     """Cache refresh could not reconcile an updated source."""
+
+
+# ---------------------------------------------------------------------------
+# Query-service errors
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for concurrent query-service errors."""
+
+
+class AdmissionError(ServiceError):
+    """The service's bounded admission queue rejected a query."""
+
+
+class ServiceClosedError(ServiceError):
+    """A query was submitted to a service that has been shut down."""

@@ -14,20 +14,42 @@ Staleness (lazy refresh): :meth:`ExtractionCache.validate_file` compares
 the file's current mtime with the admission-time mtime; on mismatch all of
 the file's entries are dropped, forcing re-extraction from the updated
 file during the same query — no separate refresh job ever runs.
+
+Concurrency: the cache is shared by every session of a
+:class:`~repro.service.service.WarehouseService`, so all public methods
+are thread-safe.  Two locking layers cooperate:
+
+* a set of **stripe locks**, one per hash bucket of URIs, serialise the
+  multi-step per-file sequences (validate → refresh → extract → admit)
+  so two sessions never interleave staleness handling for one file;
+* a single **structural lock** guards the shared LRU map, byte counter
+  and per-URI index for the short critical sections that mutate them.
+
+Stripe locks are always acquired before the structural lock and eviction
+only ever takes the structural lock, so the order is acyclic.  Entries
+can be **protected** (in-flight markers) while a coalesced extraction's
+waiters still need them; protected entries are never evicted — if every
+entry is protected the cache temporarily overcommits, exactly like the
+buffer pool's pinned pages, and trims back as soon as protection drops.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.errors import ETLError
+from repro.errors import CacheInvariantError, ETLError
 
 POLICIES = ("lru", "fifo", "cost")
+
+STRIPE_COUNT = 16
+"""Number of per-URI lock stripes (power of two, keeps hashing cheap)."""
 
 
 @dataclass
@@ -74,6 +96,50 @@ class ExtractionCache:
         self._admission_counter = itertools.count(1)
         self.stats = CacheStats()
         self.epoch = 0  # bumped on every mutation; recycler signatures use it
+        # Concurrency: stripe locks serialise per-file sequences, the
+        # structural lock guards the shared maps (see module docstring).
+        self._lock = threading.RLock()
+        self._stripes = [threading.RLock() for _ in range(STRIPE_COUNT)]
+        # In-flight markers: (uri, seq) -> protection refcount.  Protected
+        # entries are exempt from eviction.
+        self._protected: dict[tuple[str, int], int] = {}
+
+    # -- locking -----------------------------------------------------------------
+
+    def _stripe_for(self, uri: str) -> threading.RLock:
+        return self._stripes[hash(uri) % STRIPE_COUNT]
+
+    @contextmanager
+    def file_lock(self, uri: str) -> Iterator[None]:
+        """Serialise a multi-step per-file sequence (validate → refresh →
+        extract → admit) against other sessions touching the same stripe."""
+        with self._stripe_for(uri):
+            yield
+
+    # -- in-flight markers -------------------------------------------------------
+
+    def protect(self, uri: str, seq_no: int) -> None:
+        """Exempt an entry from eviction while a coalesced flight's
+        waiters may still need it (refcounted)."""
+        key = (uri, seq_no)
+        with self._lock:
+            self._protected[key] = self._protected.get(key, 0) + 1
+
+    def unprotect(self, uri: str, seq_no: int) -> None:
+        key = (uri, seq_no)
+        with self._lock:
+            count = self._protected.get(key)
+            if count is None:
+                raise ETLError(f"unprotect of unprotected entry {key}")
+            if count <= 1:
+                del self._protected[key]
+            else:
+                self._protected[key] = count - 1
+            self._evict_to_budget()
+
+    def protected_count(self) -> int:
+        with self._lock:
+            return len(self._protected)
 
     # -- staleness ---------------------------------------------------------------
 
@@ -82,16 +148,21 @@ class ExtractionCache:
 
         Returns ``True`` when cached entries (if any) are still valid.
         """
-        known = self._file_mtime.get(uri)
-        if known is None:
-            return True
-        if known == current_mtime_ns:
-            return True
-        dropped = self.invalidate_file(uri)
-        self.stats.stale_drops += dropped
-        return False
+        with self._stripe_for(uri), self._lock:
+            known = self._file_mtime.get(uri)
+            if known is None:
+                return True
+            if known == current_mtime_ns:
+                return True
+            dropped = self._invalidate_file_locked(uri)
+            self.stats.stale_drops += dropped
+            return False
 
     def invalidate_file(self, uri: str) -> int:
+        with self._stripe_for(uri), self._lock:
+            return self._invalidate_file_locked(uri)
+
+    def _invalidate_file_locked(self, uri: str) -> int:
         doomed = self._by_uri.pop(uri, None) or set()
         for seq_no in doomed:
             entry = self._entries.pop((uri, seq_no))
@@ -102,27 +173,29 @@ class ExtractionCache:
         return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._file_mtime.clear()
-        self._by_uri.clear()
-        self._bytes = 0
-        self.epoch += 1
+        with self._lock:
+            self._entries.clear()
+            self._file_mtime.clear()
+            self._by_uri.clear()
+            self._bytes = 0
+            self.epoch += 1
 
     # -- lookup / admission ------------------------------------------------------------
 
     def get(self, uri: str, seq_no: int,
             needed: list[str]) -> Optional[dict[str, np.ndarray]]:
         """Return the record's columns if all ``needed`` ones are cached."""
-        self.stats.lookups += 1
-        entry = self._entries.get((uri, seq_no))
-        if entry is None or any(col not in entry.columns for col in needed):
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        entry.hits += 1
-        if self.policy == "lru":
-            self._entries.move_to_end((uri, seq_no))
-        return {col: entry.columns[col] for col in needed}
+        with self._lock:
+            self.stats.lookups += 1
+            entry = self._entries.get((uri, seq_no))
+            if entry is None or any(col not in entry.columns for col in needed):
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            entry.hits += 1
+            if self.policy == "lru":
+                self._entries.move_to_end((uri, seq_no))
+            return {col: entry.columns[col] for col in needed}
 
     def put(self, uri: str, seq_no: int, mtime_ns: int,
             columns: dict[str, np.ndarray],
@@ -136,36 +209,41 @@ class ExtractionCache:
         for.
         """
         key = (uri, seq_no)
-        existing = self._entries.get(key)
-        if existing is not None:
-            merged = dict(existing.columns)
-            merged.update(columns)
-            columns = merged
-        nbytes = sum(arr.nbytes for arr in columns.values())
-        if nbytes > self.budget_bytes:
-            return False
-        if existing is not None:
-            self._bytes -= existing.nbytes
-            self.stats.widenings += 1
-            del self._entries[key]
-        self._entries[key] = CacheEntry(
-            columns=columns,
-            mtime_ns=mtime_ns,
-            nbytes=nbytes,
-            admitted_seq=next(self._admission_counter),
-            cost_estimate=cost_estimate,
-        )
-        self._file_mtime[uri] = mtime_ns
-        self._by_uri.setdefault(uri, set()).add(seq_no)
-        self._bytes += nbytes
-        self.stats.admissions += 1
-        self.epoch += 1
-        self._evict_to_budget()
-        return True
+        with self._stripe_for(uri), self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                merged = dict(existing.columns)
+                merged.update(columns)
+                columns = merged
+            nbytes = sum(arr.nbytes for arr in columns.values())
+            if nbytes > self.budget_bytes:
+                return False
+            if existing is not None:
+                self._bytes -= existing.nbytes
+                self.stats.widenings += 1
+                del self._entries[key]
+            self._entries[key] = CacheEntry(
+                columns=columns,
+                mtime_ns=mtime_ns,
+                nbytes=nbytes,
+                admitted_seq=next(self._admission_counter),
+                cost_estimate=cost_estimate,
+            )
+            self._file_mtime[uri] = mtime_ns
+            self._by_uri.setdefault(uri, set()).add(seq_no)
+            self._bytes += nbytes
+            self.stats.admissions += 1
+            self.epoch += 1
+            self._evict_to_budget()
+            return True
 
     def _evict_to_budget(self) -> None:
         while self._bytes > self.budget_bytes and self._entries:
             victim = self._pick_victim()
+            if victim is None:
+                # Everything left is protected by an in-flight extraction:
+                # overcommit temporarily, like pinned buffer-pool pages.
+                return
             entry = self._entries.pop(victim)
             self._drop_from_uri_index(victim)
             self._bytes -= entry.nbytes
@@ -180,16 +258,69 @@ class ExtractionCache:
             if not seqs:
                 del self._by_uri[uri]
 
-    def _pick_victim(self) -> tuple[str, int]:
+    def _pick_victim(self) -> Optional[tuple[str, int]]:
         if self.policy in ("lru", "fifo"):
-            return next(iter(self._entries))
+            for key in self._entries:
+                if key not in self._protected:
+                    return key
+            return None
+        candidates = [k for k in self._entries if k not in self._protected]
+        if not candidates:
+            return None
         return min(
-            self._entries,
+            candidates,
             key=lambda key: (
                 self._entries[key].cost_estimate
                 / max(self._entries[key].nbytes, 1)
             ),
         )
+
+    # -- consistency --------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert internal bookkeeping consistency (stress-test hook).
+
+        Verifies, atomically under the structural lock:
+
+        * the byte counter equals the sum of entry sizes;
+        * total bytes fit the budget unless in-flight protection forces
+          an overcommit;
+        * the per-URI index and the entry map describe the same key set;
+        * every indexed URI has an admission mtime.
+
+        Raises :class:`~repro.errors.CacheInvariantError` on violation.
+        """
+        with self._lock:
+            actual = sum(entry.nbytes for entry in self._entries.values())
+            if actual != self._bytes:
+                raise CacheInvariantError(
+                    f"byte counter {self._bytes} != sum of entries {actual}"
+                )
+            if self._bytes > self.budget_bytes:
+                unprotected = [k for k in self._entries
+                               if k not in self._protected]
+                if unprotected:
+                    raise CacheInvariantError(
+                        f"over budget ({self._bytes} > {self.budget_bytes}) "
+                        f"with {len(unprotected)} evictable entries"
+                    )
+            indexed = {
+                (uri, seq) for uri, seqs in self._by_uri.items()
+                for seq in seqs
+            }
+            present = set(self._entries)
+            if indexed != present:
+                missing = present - indexed
+                stale = indexed - present
+                raise CacheInvariantError(
+                    f"uri index out of sync: missing={sorted(missing)[:4]} "
+                    f"stale={sorted(stale)[:4]}"
+                )
+            for uri in self._by_uri:
+                if uri not in self._file_mtime:
+                    raise CacheInvariantError(
+                        f"indexed file {uri!r} has no admission mtime"
+                    )
 
     # -- introspection (demo capability 7) ------------------------------------------------
 
@@ -204,14 +335,16 @@ class ExtractionCache:
         return key in self._entries
 
     def cached_seq_nos(self, uri: str) -> list[int]:
-        return sorted(self._by_uri.get(uri, ()))
+        with self._lock:
+            return sorted(self._by_uri.get(uri, ()))
 
     def contents(self) -> list[tuple[str, int, int, int]]:
         """(uri, seq_no, bytes, hits) per entry, in eviction order."""
-        return [
-            (uri, seq, entry.nbytes, entry.hits)
-            for (uri, seq), entry in self._entries.items()
-        ]
+        with self._lock:
+            return [
+                (uri, seq, entry.nbytes, entry.hits)
+                for (uri, seq), entry in self._entries.items()
+            ]
 
     # -- persistence (storage-engine warm starts) -----------------------------------
 
@@ -223,11 +356,12 @@ class ExtractionCache:
         Eviction order is preserved so a restore replays admissions in
         the same order and reproduces the LRU/FIFO state.
         """
-        return [
-            (uri, seq_no, entry.mtime_ns, entry.cost_estimate,
-             dict(entry.columns))
-            for (uri, seq_no), entry in self._entries.items()
-        ]
+        with self._lock:
+            return [
+                (uri, seq_no, entry.mtime_ns, entry.cost_estimate,
+                 dict(entry.columns))
+                for (uri, seq_no), entry in self._entries.items()
+            ]
 
     def import_entries(
         self,
@@ -241,8 +375,9 @@ class ExtractionCache:
                 restored += 1
         # Restores are bookkeeping, not workload: keep admission counts
         # meaningful for the eviction ablation.
-        self.stats.admissions -= restored
-        self.stats.restored += restored
+        with self._lock:
+            self.stats.admissions -= restored
+            self.stats.restored += restored
         return restored
 
     def spill(self, store) -> int:

@@ -23,6 +23,7 @@ panels (4)-(7) display.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -55,6 +56,22 @@ class LazyDataBinding:
     metadata so the record index (and the F/R tables) match the new
     layout before extraction proceeds — "refreshments are handled ...
     when the data warehouse is queried" (§3).
+
+    Concurrency hooks (installed by
+    :class:`~repro.service.service.WarehouseService`, both ``None`` in
+    single-threaded use, where they add zero overhead):
+
+    * ``coalescer`` — a single-flight table; when set, concurrent
+      sessions needing the same (file, record) ranges extract them
+      exactly once and share the result;
+    * ``extract_pool`` — a shared worker pool; when set, one query's
+      per-file extraction work fans out across workers.
+
+    Per-file staleness handling is serialised through the cache's stripe
+    locks, and metadata refreshes additionally through a global refresh
+    lock (metadata-table DML is not concurrency-safe by design — updates
+    to the repository under live traffic are the rare event, queries are
+    the common one).
     """
 
     def __init__(self, repo: Repository, adapter: SourceAdapter,
@@ -74,6 +91,11 @@ class LazyDataBinding:
             name for name in self._data_specs
             if name not in adapter.key_columns
         )
+        # Concurrency hooks (see class docstring).
+        self.coalescer = None
+        self.extract_pool = None
+        self.wait_timeout_s = 30.0
+        self._refresh_lock = threading.RLock()
 
     # -- LazyTableBinding protocol ------------------------------------------------
 
@@ -110,12 +132,30 @@ class LazyDataBinding:
                 per_file.setdefault(pair[0], []).append(pair[1])
 
         data_cols = [n for n in needed if n not in self.key_columns]
+        uris = sorted(per_file)
         pieces: list[tuple[str, int, dict[str, np.ndarray], int]] = []
-        for uri in sorted(per_file):
-            pieces.extend(
-                self._fetch_file(uri, sorted(per_file[uri]), data_cols,
-                                 time_bounds, trace)
+        if self.extract_pool is not None and len(uris) > 1:
+            # Fan this query's per-file work across the shared pool.  Each
+            # file gets a private trace list, merged back in file order so
+            # the trace (and the assembled output) stay deterministic.
+            local_traces: list[list[dict]] = [[] for _ in uris]
+            results = self.extract_pool.map_ordered(
+                lambda pair: self._fetch_file(
+                    pair[1], sorted(per_file[pair[1]]), data_cols,
+                    time_bounds, local_traces[pair[0]],
+                ),
+                list(enumerate(uris)),
             )
+            for local in local_traces:
+                trace.extend(local)
+            for file_pieces in results:
+                pieces.extend(file_pieces)
+        else:
+            for uri in uris:
+                pieces.extend(
+                    self._fetch_file(uri, sorted(per_file[uri]), data_cols,
+                                     time_bounds, trace)
+                )
         return self._assemble(pieces, needed, data_cols)
 
     def scan_all(self, needed: list[str],
@@ -148,24 +188,36 @@ class LazyDataBinding:
         if not kept:
             return []
 
-        # (2) staleness: compare repository mtime with cache admission mtime.
-        info = self.repo.stat(uri)
-        if not self.cache.validate_file(uri, info.mtime_ns):
-            trace.append({"op": "refresh", "file": uri,
-                          "reason": "mtime newer than cache admission"})
-            self.oplog.record("cache", f"stale entries dropped for {uri}")
-            if self.metadata_refresh is not None:
-                # The file may have a different record layout now: refresh
-                # its metadata and keep only records that still exist.
-                self.metadata_refresh(uri)
-                live = {span.seq_no for span in self.index.spans(uri)}
-                dropped = [s for s in kept if s not in live]
-                if dropped:
-                    trace.append({"op": "refresh", "file": uri,
-                                  "records_gone": len(dropped)})
-                kept = [s for s in kept if s in live]
-                if not kept:
-                    return []
+        # (2) staleness: compare repository mtime with cache admission
+        # mtime.  The cache stripe lock serialises this per file, so two
+        # sessions never race the drop-and-refresh sequence.
+        with self.cache.file_lock(uri):
+            info = self.repo.stat(uri)
+            if not self.cache.validate_file(uri, info.mtime_ns):
+                trace.append({"op": "refresh", "file": uri,
+                              "reason": "mtime newer than cache admission"})
+                self.oplog.record("cache", f"stale entries dropped for {uri}")
+                if self.metadata_refresh is not None:
+                    # The file may have a different record layout now:
+                    # refresh its metadata and keep only records that still
+                    # exist.  Metadata-table DML is globally serialised.
+                    with self._refresh_lock:
+                        self.metadata_refresh(uri)
+                    live = {span.seq_no for span in self.index.spans(uri)}
+                    dropped = [s for s in kept if s not in live]
+                    if dropped:
+                        trace.append({"op": "refresh", "file": uri,
+                                      "records_gone": len(dropped)})
+                    kept = [s for s in kept if s in live]
+                    if not kept:
+                        return []
+
+        # Another session's staleness refresh may have replaced this
+        # file's record layout after OUR metadata sub-plan selected keys:
+        # the live index is the authority on which records still exist.
+        kept = self._only_live_records(uri, kept, trace)
+        if not kept:
+            return []
 
         # (3) cache fetch or extraction.
         hits: list[tuple[int, dict[str, np.ndarray]]] = []
@@ -178,29 +230,138 @@ class LazyDataBinding:
                 hits.append((seq, cached))
         if hits:
             trace.append({"op": "cache_fetch", "file": uri,
-                          "records": len(hits)})
+                          "records": len(hits),
+                          "mtime_ns": info.mtime_ns})
         pieces = [(uri, seq, cols, _rows_of(cols)) for seq, cols in hits]
 
         if missing:
+            try:
+                pieces.extend(self._extract_missing(
+                    uri, missing, data_cols, info.mtime_ns, trace))
+            except ExtractionError:
+                # A refresh landed between the liveness check and the
+                # extraction (concurrent sessions): retry once against
+                # the refreshed index; re-raise if nothing changed.
+                remaining = self._only_live_records(uri, missing, trace)
+                if len(remaining) == len(missing):
+                    raise
+                if remaining:
+                    info = self.repo.stat(uri)
+                    pieces.extend(self._extract_missing(
+                        uri, remaining, data_cols, info.mtime_ns, trace))
+        pieces.sort(key=lambda piece: piece[1])
+        return pieces
+
+    def _only_live_records(self, uri: str, seq_nos: list[int],
+                           trace: list[dict]) -> list[int]:
+        """Drop records the (possibly concurrently refreshed) index no
+        longer lists; inexact granularities are never filtered."""
+        if not self.index.is_exact(uri):
+            return seq_nos
+        live = {span.seq_no for span in self.index.spans(uri)}
+        kept = [s for s in seq_nos if s in live]
+        if len(kept) < len(seq_nos):
+            trace.append({"op": "refresh", "file": uri,
+                          "records_gone": len(seq_nos) - len(kept)})
+        return kept
+
+    def _extract_missing(
+        self, uri: str, missing: list[int], data_cols: list[str],
+        mtime_ns: int, trace: list[dict],
+    ) -> list[tuple[str, int, dict[str, np.ndarray], int]]:
+        if self.coalescer is not None:
+            return self._extract_coalesced(uri, missing, data_cols,
+                                           mtime_ns, trace)
+        return self._extract_direct(uri, missing, data_cols, mtime_ns, trace)
+
+    def _extract_direct(
+        self, uri: str, missing: list[int], data_cols: list[str],
+        mtime_ns: int, trace: list[dict], *, protect: bool = False,
+    ) -> list[tuple[str, int, dict[str, np.ndarray], int]]:
+        """Extract ``missing`` records here, admit them, return pieces.
+
+        ``protect=True`` marks each admitted entry as in-flight (exempt
+        from eviction) — the coalesced path holds the protection until its
+        flight is published, then lifts it.
+        """
+        started = time.perf_counter()
+        extracted = self.adapter.extract(self.repo, uri, missing, data_cols)
+        elapsed = time.perf_counter() - started
+        trace.append({
+            "op": "extract", "file": uri, "records": len(missing),
+            "rows": extracted.total_rows(),
+            "seconds": round(elapsed, 4),
+            "mtime_ns": mtime_ns,
+        })
+        self.oplog.record(
+            "extract", f"extracted {len(missing)} records from {uri}",
+            rows=extracted.total_rows(), seconds=round(elapsed, 4),
+        )
+        pieces = []
+        # (4) lazy loading: admit the transformed records to the cache.
+        for seq, columns in zip(extracted.seq_nos, extracted.per_record):
+            if protect:
+                self.cache.protect(uri, seq)
+            self.cache.put(uri, seq, mtime_ns, columns,
+                           cost_estimate=elapsed / max(len(missing), 1))
+            pieces.append((uri, seq, columns, _rows_of(columns)))
+        return pieces
+
+    def _extract_coalesced(
+        self, uri: str, missing: list[int], data_cols: list[str],
+        mtime_ns: int, trace: list[dict],
+    ) -> list[tuple[str, int, dict[str, np.ndarray], int]]:
+        """Single-flight extraction: lead what we claimed, wait for the rest.
+
+        Leading happens before waiting, so a session never blocks on
+        another flight while holding unpublished claims — the no-deadlock
+        argument in :mod:`repro.service.coalescer`.
+        """
+        outcome = self.coalescer.claim(uri, missing, data_cols, mtime_ns)
+        pieces: list[tuple[str, int, dict[str, np.ndarray], int]] = []
+        if outcome.led_seqs:
+            try:
+                led = self._extract_direct(uri, outcome.led_seqs, data_cols,
+                                           mtime_ns, trace, protect=True)
+            except BaseException as exc:
+                self.coalescer.publish(uri, outcome.flight, {}, error=exc)
+                raise
+            try:
+                self.coalescer.publish(
+                    uri, outcome.flight,
+                    {seq: columns for _uri, seq, columns, _rows in led},
+                )
+            finally:
+                for _uri, seq, _columns, _rows in led:
+                    self.cache.unprotect(uri, seq)
+            pieces.extend(led)
+        for flight, seqs in outcome.waits.items():
             started = time.perf_counter()
-            extracted = self.adapter.extract(self.repo, uri, missing,
-                                             data_cols)
-            elapsed = time.perf_counter() - started
+            got = self.coalescer.wait(flight, seqs, self.wait_timeout_s)
+            waited = time.perf_counter() - started
+            if got is None:
+                # The flight failed, timed out or covered fewer records
+                # than we need: extract those records ourselves.
+                trace.append({"op": "coalesce_fallback", "file": uri,
+                              "records": len(seqs)})
+                pieces.extend(self._extract_direct(uri, seqs, data_cols,
+                                                   mtime_ns, trace))
+                continue
+            rows = sum(_rows_of(columns) for columns in got.values())
             trace.append({
-                "op": "extract", "file": uri, "records": len(missing),
-                "rows": extracted.total_rows(),
-                "seconds": round(elapsed, 4),
+                "op": "extract_wait", "file": uri, "records": len(got),
+                "rows": rows, "seconds": round(waited, 4),
+                "mtime_ns": mtime_ns,
             })
             self.oplog.record(
-                "extract", f"extracted {len(missing)} records from {uri}",
-                rows=extracted.total_rows(), seconds=round(elapsed, 4),
+                "extract",
+                f"shared {len(got)} records of {uri} from another session",
+                rows=rows, seconds=round(waited, 4),
             )
-            # (4) lazy loading: admit the transformed records to the cache.
-            for seq, columns in zip(extracted.seq_nos, extracted.per_record):
-                self.cache.put(uri, seq, info.mtime_ns, columns,
-                               cost_estimate=elapsed / max(len(missing), 1))
-                pieces.append((uri, seq, columns, _rows_of(columns)))
-        pieces.sort(key=lambda piece: piece[1])
+            pieces.extend(
+                (uri, seq, columns, _rows_of(columns))
+                for seq, columns in got.items()
+            )
         return pieces
 
     def _assemble(
@@ -218,7 +379,19 @@ class LazyDataBinding:
             for uri, _seq, _cols, rows in pieces:
                 uris[cursor:cursor + rows] = uri
                 cursor += rows
-            out[uri_key] = Column(self._data_specs[uri_key].dtype, uris)
+            column = Column(self._data_specs[uri_key].dtype, uris)
+            # The pieces are uri-ordered runs, so the join dictionary is
+            # known here for free — one np.repeat instead of the join
+            # re-factorizing this wide column on every query.
+            uniques = sorted({uri for uri, _s, _c, _r in pieces})
+            code_of = {uri: i for i, uri in enumerate(uniques)}
+            run_codes = np.array(
+                [code_of[uri] for uri, _s, _c, _r in pieces], dtype=np.int64
+            )
+            run_rows = np.array([rows for _u, _s, _c, rows in pieces],
+                                dtype=np.int64)
+            column.set_dictionary(np.repeat(run_codes, run_rows), uniques)
+            out[uri_key] = column
         if seq_key in needed:
             seqs = np.empty(total, dtype=np.int64)
             cursor = 0

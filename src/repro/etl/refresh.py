@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import FileMissingError, MSeedError
 from repro.etl.eager import EagerETL
 from repro.etl.lazy import LazyETL, _columnar
 from repro.etl.metadata import Granularity
@@ -52,6 +53,30 @@ class MetadataSync:
         )
         return {uri: mtime for uri, mtime in result.rows()}
 
+    def _harvest_or_none(self, info):
+        """Harvest one file, or ``None`` if it vanished since the scan.
+
+        ``sync`` lists the repository and then opens each changed file; a
+        file deleted in that window (live archives do this constantly)
+        must degrade to "removed", not crash the whole sync pass.
+        """
+        try:
+            return self.lazy.harvest_single(info)
+        except (FileMissingError, FileNotFoundError) as exc:
+            self.lazy.db.oplog.record(
+                "refresh", f"file {info.uri} vanished during sync",
+                error=str(exc)[:80],
+            )
+            return None
+        except MSeedError as exc:
+            # Torn mid-rewrite content: treat like a vanished file; the
+            # next sync will pick the file up once it is stable again.
+            self.lazy.db.oplog.record(
+                "refresh", f"file {info.uri} unreadable during sync",
+                error=str(exc)[:80],
+            )
+            return None
+
     def sync(self) -> SyncReport:
         """One incremental pass; touches only changed files."""
         started = time.perf_counter()
@@ -63,16 +88,26 @@ class MetadataSync:
         record_rows: list[dict] = []
         for uri, info in current.items():
             if uri not in known:
-                rows_f, rows_r = self.lazy.harvest_single(info)
-                file_rows.extend(rows_f)
-                record_rows.extend(rows_r)
+                rows = self._harvest_or_none(info)
+                if rows is None:
+                    # Vanished between the scan and the harvest: never
+                    # entered the warehouse, nothing to roll back.
+                    continue
+                file_rows.extend(rows[0])
+                record_rows.extend(rows[1])
                 report.added.append(uri)
             elif known[uri] != info.mtime_ns:
                 self.lazy.delete_file_metadata(uri)
                 self.lazy.cache.invalidate_file(uri)
-                rows_f, rows_r = self.lazy.harvest_single(info)
-                file_rows.extend(rows_f)
-                record_rows.extend(rows_r)
+                rows = self._harvest_or_none(info)
+                if rows is None:
+                    # Vanished mid-sync: the metadata is already deleted,
+                    # so finish the removal instead of re-adding it.
+                    self.lazy.index.drop_file(uri)
+                    report.removed.append(uri)
+                    continue
+                file_rows.extend(rows[0])
+                record_rows.extend(rows[1])
                 report.updated.append(uri)
         for uri in set(known) - set(current):
             self.lazy.delete_file_metadata(uri)

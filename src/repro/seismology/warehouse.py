@@ -166,6 +166,24 @@ class SeismicWarehouse:
     def query(self, sql: str) -> Result:
         return self.db.query(sql)
 
+    def serve(self, **config):
+        """Open a concurrent query service over this warehouse.
+
+        Returns a started
+        :class:`~repro.service.service.WarehouseService`; keyword
+        arguments are :class:`~repro.service.service.ServiceConfig`
+        fields (``max_workers``, ``queue_depth``, ``coalesce``,
+        ``extract_workers``, ...).  Use as a context manager::
+
+            with wh.serve(max_workers=8) as svc:
+                a, b = svc.session("alice"), svc.session("bob")
+                futures = [a.submit(sql1), b.submit(sql2)]
+                outcomes = [f.result() for f in futures]
+        """
+        from repro.service.service import WarehouseService
+
+        return WarehouseService(self, **config)
+
     def execute(self, sql: str) -> Result:
         return self.db.execute(sql)
 

@@ -1,0 +1,316 @@
+"""The concurrent query service: one shared warehouse, many sessions.
+
+:class:`WarehouseService` turns a :class:`~repro.seismology.warehouse.
+SeismicWarehouse` from a library object into a *server*: client sessions
+submit SQL concurrently, a bounded admission controller keeps the fan-in
+fair and finite, a worker pool executes queries, and — in lazy mode —
+the extraction layers underneath are wired for concurrency:
+
+* a **single-flight coalescer** so N sessions needing the same (file,
+  record) ranges pay for one extraction (\"Fluid ETL\"-style on-demand
+  serving under concurrent load);
+* a shared **parallel extraction pool** fanning one query's per-file
+  work across workers;
+* per-session :class:`QueryOutcome` reports that distinguish rows the
+  session *extracted here* from rows it obtained by *waiting on another
+  session's extraction*.
+
+Scope: the service serves **queries**.  DDL/DML and repository syncs
+remain single-writer operations — run them before :meth:`start` or after
+:meth:`close` (query-time staleness refresh is the one sanctioned
+exception and is internally serialised).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ServiceClosedError, ServiceError
+from repro.service.admission import AdmissionController, AdmissionStats
+from repro.service.coalescer import CoalescerStats, ExtractionCoalescer
+from repro.service.parallel import ParallelExtractor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.exec.engine import QueryReport
+    from repro.seismology.warehouse import SeismicWarehouse
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    max_workers: int = 4          # query-executing threads
+    max_in_flight: Optional[int] = None  # executing queries cap (None = workers)
+    queue_depth: int = 128        # bounded admission queue
+    fair: bool = True             # per-session round-robin dispatch
+    coalesce: bool = True         # single-flight extraction sharing
+    extract_workers: int = 0      # 0 disables the per-file fan-out pool
+    wait_timeout_s: float = 30.0  # coalesced-wait patience before fallback
+
+    def __post_init__(self) -> None:
+        if self.max_workers <= 0:
+            raise ServiceError("max_workers must be positive")
+        if self.max_in_flight is None:
+            self.max_in_flight = self.max_workers
+        if self.max_in_flight <= 0:
+            raise ServiceError("max_in_flight must be positive")
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one served query produced and cost."""
+
+    session_id: str
+    sql: str
+    result: object                # repro.db.exec.result.Result
+    report: "QueryReport"
+    trace: list[dict]
+    queued_s: float               # admission queue wait
+    execute_s: float              # worker execution time
+    total_s: float                # submit -> completion
+
+    @property
+    def rows_extracted_here(self) -> int:
+        return self.report.rows_extracted_here
+
+    @property
+    def rows_coalesced(self) -> int:
+        return self.report.rows_coalesced
+
+
+def latency_percentile(latencies_s: list[float], q: float) -> float:
+    """Nearest-rank percentile over a latency sample (q in [0, 100]).
+
+    Shared by :class:`ServiceStats` and bench E12 so both always report
+    the same statistic.
+    """
+    if not latencies_s:
+        return 0.0
+    ordered = sorted(latencies_s)
+    rank = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service counters (admission + coalescing + latency)."""
+
+    completed: int = 0
+    failed: int = 0
+    admission: AdmissionStats = field(default_factory=AdmissionStats)
+    coalescer: Optional[CoalescerStats] = None
+    latencies_s: list[float] = field(default_factory=list)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile over completed queries (q in [0, 100])."""
+        return latency_percentile(self.latencies_s, q)
+
+
+class _QueuedQuery:
+    __slots__ = ("session_id", "sql", "future", "submitted_at", "submit_seq")
+
+    def __init__(self, session_id: str, sql: str, future: Future,
+                 submit_seq: int) -> None:
+        self.session_id = session_id
+        self.sql = sql
+        self.future = future
+        self.submitted_at = time.perf_counter()
+        self.submit_seq = submit_seq
+
+
+class ClientSession:
+    """One client's handle on the service (its fairness unit)."""
+
+    def __init__(self, service: "WarehouseService", session_id: str) -> None:
+        self.service = service
+        self.session_id = session_id
+        self.outcomes: list[QueryOutcome] = []
+
+    def submit(self, sql: str) -> "Future[QueryOutcome]":
+        """Enqueue a query; the future resolves to a :class:`QueryOutcome`."""
+        return self.service.submit(self.session_id, sql)
+
+    def query(self, sql: str) -> QueryOutcome:
+        """Submit and block for the outcome (recorded on the session)."""
+        outcome = self.submit(sql).result()
+        self.outcomes.append(outcome)
+        return outcome
+
+
+class WarehouseService:
+    """Serve one warehouse to many concurrent sessions."""
+
+    def __init__(self, warehouse: "SeismicWarehouse",
+                 config: Optional[ServiceConfig] = None,
+                 **overrides: object) -> None:
+        if config is None:
+            config = ServiceConfig(**overrides)  # type: ignore[arg-type]
+        elif overrides:
+            raise ServiceError("pass either config or keyword overrides")
+        self.warehouse = warehouse
+        self.config = config
+        self.admission: AdmissionController[_QueuedQuery] = AdmissionController(
+            queue_depth=config.queue_depth, fair=config.fair,
+        )
+        self.coalescer: Optional[ExtractionCoalescer] = None
+        self.extract_pool: Optional[ParallelExtractor] = None
+        self._sessions: dict[str, ClientSession] = {}
+        self._session_counter = itertools.count(1)
+        self._submit_counter = itertools.count(1)
+        self._in_flight = threading.Semaphore(config.max_in_flight)
+        self._workers: list[threading.Thread] = []
+        self._stats_lock = threading.Lock()
+        self._completed = 0
+        self._failed = 0
+        self._latencies: list[float] = []
+        self._started = False
+        self._closed = False
+        self.start()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Install concurrency hooks on the warehouse and spawn workers."""
+        if self._started:
+            return
+        binding = getattr(self.warehouse.pipeline, "binding", None)
+        if binding is not None:
+            if self.config.coalesce:
+                self.coalescer = ExtractionCoalescer()
+                binding.coalescer = self.coalescer
+            if self.config.extract_workers > 0:
+                self.extract_pool = ParallelExtractor(
+                    self.config.extract_workers)
+                binding.extract_pool = self.extract_pool
+            binding.wait_timeout_s = self.config.wait_timeout_s
+        for i in range(self.config.max_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-{i}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        self._started = True
+        self.warehouse.oplog.record(
+            "service", "service started",
+            workers=self.config.max_workers,
+            queue_depth=self.config.queue_depth,
+            coalesce=self.config.coalesce,
+            extract_workers=self.config.extract_workers,
+        )
+
+    def close(self) -> None:
+        """Stop accepting work, finish in-flight queries, detach hooks."""
+        if self._closed:
+            return
+        self._closed = True
+        self.admission.close()
+        for item in self.admission.drain():
+            item.future.set_exception(
+                ServiceClosedError("service shut down before execution"))
+        for worker in self._workers:
+            worker.join()
+        binding = getattr(self.warehouse.pipeline, "binding", None)
+        if binding is not None:
+            if binding.coalescer is self.coalescer:
+                binding.coalescer = None
+            if binding.extract_pool is self.extract_pool:
+                binding.extract_pool = None
+        if self.extract_pool is not None:
+            self.extract_pool.close()
+        self.warehouse.oplog.record(
+            "service", "service stopped",
+            completed=self._completed, failed=self._failed,
+        )
+
+    def __enter__(self) -> "WarehouseService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- sessions & submission -----------------------------------------------------
+
+    def session(self, name: Optional[str] = None) -> ClientSession:
+        """Open a client session (the unit of admission fairness)."""
+        session_id = name or f"session-{next(self._session_counter)}"
+        with self._stats_lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                session = ClientSession(self, session_id)
+                self._sessions[session_id] = session
+            return session
+
+    def submit(self, session_id: str, sql: str) -> "Future[QueryOutcome]":
+        if self._closed:
+            raise ServiceClosedError("service is shut down")
+        future: "Future[QueryOutcome]" = Future()
+        item = _QueuedQuery(session_id, sql, future,
+                            next(self._submit_counter))
+        self.admission.submit(session_id, item)
+        return future
+
+    def query(self, sql: str, *, session: Optional[str] = None) -> QueryOutcome:
+        """One-shot convenience: submit on a (named) session and wait."""
+        return self.session(session).query(sql)
+
+    # -- workers ---------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        db = self.warehouse.db
+        while True:
+            # Block until notified (submit/close both signal the queue's
+            # condition) — an idle service must not busy-poll.
+            item = self.admission.next_item(timeout=None)
+            if item is None:
+                if self._closed and self.admission.queued() == 0:
+                    return
+                continue
+            queued_s = time.perf_counter() - item.submitted_at
+            with self._in_flight:
+                started = time.perf_counter()
+                try:
+                    result, report, trace = db.query_with_report(item.sql)
+                except BaseException as exc:
+                    with self._stats_lock:
+                        self._failed += 1
+                    item.future.set_exception(exc)
+                    continue
+                execute_s = time.perf_counter() - started
+            outcome = QueryOutcome(
+                session_id=item.session_id,
+                sql=item.sql,
+                result=result,
+                report=report,
+                trace=trace,
+                queued_s=queued_s,
+                execute_s=execute_s,
+                total_s=time.perf_counter() - item.submitted_at,
+            )
+            with self._stats_lock:
+                self._completed += 1
+                self._latencies.append(outcome.total_s)
+            item.future.set_result(outcome)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        with self._stats_lock:
+            return ServiceStats(
+                completed=self._completed,
+                failed=self._failed,
+                admission=self.admission.stats,
+                coalescer=self.coalescer.stats if self.coalescer else None,
+                latencies_s=list(self._latencies),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"WarehouseService(workers={self.config.max_workers}, "
+                f"queued={self.admission.queued()}, "
+                f"completed={self._completed})")

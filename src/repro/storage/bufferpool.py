@@ -13,10 +13,18 @@ budget) and trims back as soon as pins drop.
 Stale pages need no invalidation protocol: segment files are immutable
 generations (the store writes a fresh path per overwrite), so a key can
 never refer to changed bytes.
+
+Concurrency: the pool is shared by every worker of a
+:class:`~repro.service.service.WarehouseService`, so all operations are
+thread-safe.  Misses are **single-flight**: the first thread to miss a
+page loads it outside the lock while later threads wait on an in-flight
+marker, so one page is never read from disk twice concurrently and the
+lock is never held across I/O.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -36,14 +44,26 @@ class PoolStats:
     evictions: int = 0
     disk_reads: int = 0
     bytes_read: int = 0
+    coalesced_loads: int = 0  # waits on another thread's in-flight read
 
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+class _PageLoad:
+    """In-flight marker for one page read (single-flight)."""
+
+    __slots__ = ("done", "page", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.page: bytes | None = None
+        self.error: BaseException | None = None
+
+
 class BufferPool:
-    """LRU page cache with pin counts."""
+    """LRU page cache with pin counts (thread-safe)."""
 
     def __init__(self, budget_bytes: int = 64 * 1024 * 1024) -> None:
         if budget_bytes <= 0:
@@ -52,6 +72,8 @@ class BufferPool:
         self._pages: "OrderedDict[PageKey, bytes]" = OrderedDict()
         self._pins: dict[PageKey, int] = {}
         self._bytes = 0
+        self._lock = threading.RLock()
+        self._loading: dict[PageKey, _PageLoad] = {}
         self.stats = PoolStats()
 
     # -- lookup ----------------------------------------------------------------
@@ -59,38 +81,80 @@ class BufferPool:
     def get(self, key: PageKey, loader: Callable[[], bytes],
             *, pin: bool = False) -> bytes:
         """Return the page, loading it on a miss via ``loader()``."""
-        self.stats.lookups += 1
-        page = self._pages.get(key)
-        if page is not None:
-            self.stats.hits += 1
-            self._pages.move_to_end(key)
-        else:
-            self.stats.misses += 1
-            page = loader()
-            self.stats.disk_reads += 1
-            self.stats.bytes_read += len(page)
-            self._pages[key] = page
-            self._bytes += len(page)
-        if pin:
-            self._pins[key] = self._pins.get(key, 0) + 1
-        self._evict_to_budget()
-        return page
+        while True:
+            with self._lock:
+                self.stats.lookups += 1
+                page = self._pages.get(key)
+                if page is not None:
+                    self.stats.hits += 1
+                    self._pages.move_to_end(key)
+                    if pin:
+                        self._pins[key] = self._pins.get(key, 0) + 1
+                    self._evict_to_budget()
+                    return page
+                self.stats.misses += 1
+                flight = self._loading.get(key)
+                if flight is None:
+                    flight = _PageLoad()
+                    self._loading[key] = flight
+                    leader = True
+                else:
+                    leader = False
+                    self.stats.coalesced_loads += 1
+            if leader:
+                try:
+                    page = loader()
+                except BaseException as exc:
+                    with self._lock:
+                        flight.error = exc
+                        del self._loading[key]
+                    flight.done.set()
+                    raise
+                with self._lock:
+                    self.stats.disk_reads += 1
+                    self.stats.bytes_read += len(page)
+                    if key not in self._pages:
+                        self._pages[key] = page
+                        self._bytes += len(page)
+                    flight.page = page
+                    del self._loading[key]
+                    if pin:
+                        self._pins[key] = self._pins.get(key, 0) + 1
+                    self._evict_to_budget()
+                flight.done.set()
+                return page
+            flight.done.wait()
+            if flight.error is not None:
+                raise StorageError(
+                    f"coalesced page load of {key} failed"
+                ) from flight.error
+            # The leader's page may already be evicted again under a tiny
+            # budget; loop back through the lookup (it re-loads if so).
+            if flight.page is not None:
+                with self._lock:
+                    if pin and key in self._pages:
+                        self._pins[key] = self._pins.get(key, 0) + 1
+                        return flight.page
+                if not pin:
+                    return flight.page
 
     def pin(self, key: PageKey, loader: Callable[[], bytes]) -> bytes:
         return self.get(key, loader, pin=True)
 
     def unpin(self, key: PageKey) -> None:
-        count = self._pins.get(key)
-        if count is None:
-            raise StorageError(f"unpin of unpinned page {key}")
-        if count <= 1:
-            del self._pins[key]
-        else:
-            self._pins[key] = count - 1
-        self._evict_to_budget()
+        with self._lock:
+            count = self._pins.get(key)
+            if count is None:
+                raise StorageError(f"unpin of unpinned page {key}")
+            if count <= 1:
+                del self._pins[key]
+            else:
+                self._pins[key] = count - 1
+            self._evict_to_budget()
 
     def pin_count(self, key: PageKey) -> int:
-        return self._pins.get(key, 0)
+        with self._lock:
+            return self._pins.get(key, 0)
 
     # -- maintenance -------------------------------------------------------------
 
@@ -107,10 +171,11 @@ class BufferPool:
             self.stats.evictions += 1
 
     def clear(self) -> None:
-        if self._pins:
-            raise StorageError("cannot clear a pool with pinned pages")
-        self._pages.clear()
-        self._bytes = 0
+        with self._lock:
+            if self._pins:
+                raise StorageError("cannot clear a pool with pinned pages")
+            self._pages.clear()
+            self._bytes = 0
 
     # -- introspection --------------------------------------------------------------
 

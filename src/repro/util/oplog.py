@@ -13,6 +13,7 @@ performs no file extraction".
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -44,18 +45,23 @@ class OperationLog:
         self._clock = clock
         self._counter = itertools.count(1)
         self._listeners: list[Callable[[OpEntry], None]] = []
+        # Concurrent sessions log through one shared instance; keep the
+        # seq/append pair atomic so orderings stay coherent.
+        self._lock = threading.Lock()
 
     def record(self, category: str, message: str, **detail: Any) -> OpEntry:
         """Append one entry and return it."""
-        entry = OpEntry(
-            seq=next(self._counter),
-            wall_time=self._clock(),
-            category=category,
-            message=message,
-            detail=detail,
-        )
-        self._entries.append(entry)
-        for listener in self._listeners:
+        with self._lock:
+            entry = OpEntry(
+                seq=next(self._counter),
+                wall_time=self._clock(),
+                category=category,
+                message=message,
+                detail=detail,
+            )
+            self._entries.append(entry)
+            listeners = list(self._listeners)
+        for listener in listeners:
             listener(entry)
         return entry
 

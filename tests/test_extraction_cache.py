@@ -162,3 +162,96 @@ def test_per_uri_index_tracks_all_mutation_paths():
     cache.put("c", 5, 1, _cols())
     cache.clear()
     assert cache.cached_seq_nos("c") == []
+
+
+# ---------------------------------------------------------------------------
+# Invariants and multi-threaded stress (the service shares one cache)
+# ---------------------------------------------------------------------------
+
+
+def test_check_invariants_passes_on_healthy_cache():
+    cache = ExtractionCache(budget_bytes=1 << 20)
+    for i in range(8):
+        cache.put(f"f{i % 3}", i, 100, _cols())
+    cache.invalidate_file("f1")
+    cache.check_invariants()
+
+
+def test_check_invariants_detects_corruption():
+    from repro.errors import CacheInvariantError
+
+    cache = ExtractionCache()
+    cache.put("f1", 1, 100, _cols())
+    cache._bytes += 13  # simulate a bookkeeping bug
+    with pytest.raises(CacheInvariantError):
+        cache.check_invariants()
+
+
+def test_protected_entries_survive_eviction_pressure():
+    entry_bytes = sum(a.nbytes for a in _cols().values())
+    cache = ExtractionCache(budget_bytes=entry_bytes * 2)
+    cache.put("a", 1, 1, _cols())
+    cache.protect("a", 1)
+    cache.put("b", 1, 1, _cols())
+    cache.put("c", 1, 1, _cols())  # over budget: must not evict ("a", 1)
+    assert ("a", 1) in cache
+    cache.check_invariants()  # overcommit is legal while protected
+    cache.unprotect("a", 1)   # protection lifted: budget re-enforced
+    assert cache.used_bytes <= cache.budget_bytes
+    cache.check_invariants()
+
+
+def test_unprotect_requires_protect():
+    cache = ExtractionCache()
+    with pytest.raises(ETLError):
+        cache.unprotect("nope", 1)
+
+
+def test_randomized_multithreaded_stress_keeps_invariants():
+    """The satellite stress test: hammer one cache from many threads with
+    a randomized mix of every mutation, assert invariants throughout."""
+    import random
+    import threading
+
+    entry_bytes = sum(a.nbytes for a in _cols().values())
+    cache = ExtractionCache(budget_bytes=entry_bytes * 8)
+    uris = [f"file-{i}.mseed" for i in range(6)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(6)
+
+    def worker(seed: int) -> None:
+        rng = random.Random(seed)
+        try:
+            barrier.wait(timeout=10)
+            for step in range(400):
+                uri = rng.choice(uris)
+                seq = rng.randrange(8)
+                op = rng.random()
+                if op < 0.45:
+                    cache.put(uri, seq, 100, _cols(n=rng.randrange(4, 40)))
+                elif op < 0.75:
+                    cache.get(uri, seq, ["sample_value"])
+                elif op < 0.85:
+                    cache.protect(uri, seq)
+                    cache.put(uri, seq, 100, _cols())
+                    cache.unprotect(uri, seq)
+                elif op < 0.93:
+                    cache.invalidate_file(uri)
+                else:
+                    cache.validate_file(uri, rng.choice([100, 200]))
+                if step % 50 == 0:
+                    cache.check_invariants()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(seed,))
+               for seed in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, errors[0]
+    cache.check_invariants()
+    assert cache.used_bytes <= cache.budget_bytes
+    stats = cache.stats
+    assert stats.admissions > 0 and stats.lookups > 0

@@ -124,3 +124,136 @@ def test_external_mode_sees_changes_without_sync(mutable_repo):
     _rewrite_file(entry, offset=90_000)
     assert wh.query(q).scalar() >= 90_000
     assert wh.sync().changed == 0  # nothing to sync
+
+
+# ---------------------------------------------------------------------------
+# MetadataSync edge cases (scan/harvest races, no-op touches, idempotence)
+# ---------------------------------------------------------------------------
+
+
+class VanishingRepository(Repository):
+    """Deletes a target file right after it is listed — the classic live
+    archive race between the directory scan and the per-file harvest."""
+
+    def __init__(self, root, vanish_uri):
+        super().__init__(root)
+        self.vanish_uri = vanish_uri
+        self.armed = False
+
+    def list_files(self):
+        infos = super().list_files()
+        if self.armed:
+            os.remove(self.root / self.vanish_uri)
+            self.armed = False
+        return infos
+
+
+def test_sync_survives_file_removed_between_scan_and_harvest(mutable_repo):
+    """A *new* file that vanishes mid-sync is skipped, not crashed on."""
+    repo = Repository(mutable_repo.root)
+    wh = SeismicWarehouse(repo, mode="lazy")
+    files_before = wh.query("SELECT COUNT(*) FROM mseed.files").scalar()
+
+    new_uri = "NL/HGN/NL.HGN..BHZ.2010.014.2200.mseed"
+    new_path = os.path.join(mutable_repo.root, new_uri)
+    write_mseed_file(
+        new_path, network="NL", station="HGN", location="", channel="BHZ",
+        start_time_us=from_ymd(2010, 1, 14, 22, 0), sample_rate=40.0,
+        samples=np.arange(2000, dtype=np.int32),
+    )
+    vanishing = VanishingRepository(mutable_repo.root, new_uri)
+    wh.pipeline.repo = vanishing  # the sync lists through this repo
+    vanishing.armed = True
+    report = wh.sync()
+    assert new_uri not in report.added
+    assert wh.query("SELECT COUNT(*) FROM mseed.files").scalar() == \
+        files_before
+    # Once the race is over, a later sync converges (file is simply gone).
+    assert wh.sync().changed == 0
+
+
+def test_sync_survives_updated_file_removed_between_scan_and_harvest(
+        mutable_repo):
+    """An *updated* file that vanishes mid-sync degrades to a removal."""
+    repo = Repository(mutable_repo.root)
+    wh = SeismicWarehouse(repo, mode="lazy")
+    entry = mutable_repo.entries[0]
+    uri = os.path.relpath(entry.path, mutable_repo.root)
+    _rewrite_file(entry)  # make the file look updated to the sync
+
+    vanishing = VanishingRepository(mutable_repo.root, uri)
+    wh.pipeline.repo = vanishing
+    vanishing.armed = True
+    report = wh.sync()
+    assert uri in report.removed and uri not in report.updated
+    assert wh.query(
+        f"SELECT COUNT(*) FROM mseed.files WHERE file_location = '{uri}'"
+    ).scalar() == 0
+    # The record index forgot the file too: queries still run fine.
+    assert wh.sync().changed == 0
+    wh.query("SELECT COUNT(*) FROM mseed.dataview")
+
+
+def test_sync_after_touch_with_identical_content(mutable_repo):
+    """mtime bumped, bytes identical: metadata converges to the same rows
+    and the data answers do not change."""
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy")
+    q = ("SELECT MAX(D.sample_value), COUNT(*) FROM mseed.dataview "
+         "WHERE F.station = 'HGN' AND F.channel = 'BHZ'")
+    before = wh.query(q).rows()
+    records_before = wh.query("SELECT COUNT(*) FROM mseed.records").scalar()
+
+    entry = next(e for e in mutable_repo.entries
+                 if e.station == "HGN" and e.channel == "BHZ")
+    uri = os.path.relpath(entry.path, mutable_repo.root)
+    stat = os.stat(entry.path)
+    os.utime(entry.path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+
+    report = wh.sync()
+    assert uri in report.updated  # mtime is the only change signal we have
+    assert wh.query("SELECT COUNT(*) FROM mseed.records").scalar() == \
+        records_before
+    assert wh.query(q).rows() == before
+    # No duplicate F rows for the touched file.
+    assert wh.query(
+        f"SELECT COUNT(*) FROM mseed.files WHERE file_location = '{uri}'"
+    ).scalar() == 1
+
+
+def test_repeated_sync_is_idempotent_after_changes(mutable_repo):
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy")
+    entry = mutable_repo.entries[1]
+    _rewrite_file(entry)
+    os.remove(mutable_repo.entries[2].path)
+    first = wh.sync()
+    assert first.changed == 2
+    files_after = wh.query("SELECT COUNT(*) FROM mseed.files").scalar()
+    records_after = wh.query("SELECT COUNT(*) FROM mseed.records").scalar()
+    # Converged: further syncs see nothing and change nothing.
+    for _ in range(2):
+        again = wh.sync()
+        assert again.changed == 0
+        assert wh.query("SELECT COUNT(*) FROM mseed.files").scalar() == \
+            files_after
+        assert wh.query("SELECT COUNT(*) FROM mseed.records").scalar() == \
+            records_after
+
+
+def test_recycler_never_serves_stale_results_after_rewrite(mutable_repo):
+    """Recycled intermediates pin their source files' mtimes: a warm
+    (cache-hit) query admits a live signature, the file changes, and the
+    next query must re-extract instead of replaying the cached result."""
+    wh = SeismicWarehouse(mutable_repo.root, mode="lazy")  # recycler ON
+    q = ("SELECT MAX(D.sample_value) FROM mseed.dataview "
+         "WHERE F.station = 'HGN' AND F.channel = 'BHZ'")
+    wh.query(q)                  # cold: extracts (epoch bumps mid-query)
+    before = wh.query(q).scalar()  # warm: admits a reusable signature
+    assert wh.query(q).scalar() == before  # recycler serves the warm repeat
+    assert wh.recycler.stats.hits > 0
+
+    entry = next(e for e in mutable_repo.entries
+                 if e.station == "HGN" and e.channel == "BHZ")
+    _rewrite_file(entry, offset=120_000)
+    after = wh.query(q).scalar()
+    assert after >= 120_000 and after != before
+    assert wh.recycler.stats.stale_drops > 0

@@ -1,0 +1,212 @@
+"""The concurrent query service: coalescing, fairness, admission, safety."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceClosedError
+from repro.etl.mseed_adapter import MSeedAdapter
+from repro.seismology.warehouse import SeismicWarehouse
+from repro.service.admission import AdmissionController
+from repro.service.coalescer import ExtractionCoalescer
+
+
+class CountingAdapter(MSeedAdapter):
+    """MSeedAdapter that counts extract() calls per file, optionally slowly.
+
+    The delay widens the window in which concurrent sessions' extractions
+    overlap, so coalescing (not lucky cache timing) is what the asserts
+    exercise.
+    """
+
+    def __init__(self, delay_s: float = 0.0) -> None:
+        super().__init__()
+        self.delay_s = delay_s
+        self.extract_calls: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def extract(self, repo, uri, seq_nos, needed):
+        with self._lock:
+            self.extract_calls[uri] = self.extract_calls.get(uri, 0) + 1
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return super().extract(repo, uri, seq_nos, needed)
+
+
+MULTI_FILE_QUERY = (
+    "SELECT MIN(D.sample_value), MAX(D.sample_value), COUNT(*) "
+    "FROM mseed.dataview"
+)
+
+
+def test_sixteen_concurrent_identical_queries_extract_once(tiny_repo):
+    """The acceptance criterion: N identical in-flight queries, one
+    extraction per file — the single-flight coalescer at work."""
+    adapter = CountingAdapter(delay_s=0.05)
+    wh = SeismicWarehouse(tiny_repo.root, mode="lazy", adapter=adapter,
+                          enable_recycler=False)
+    with wh.serve(max_workers=16) as svc:
+        sessions = [svc.session(f"client-{i}") for i in range(16)]
+        futures = [s.submit(MULTI_FILE_QUERY) for s in sessions]
+        outcomes = [f.result(timeout=120) for f in futures]
+    rows = [tuple(o.result.rows()[0]) for o in outcomes]
+    assert len(set(rows)) == 1  # all sessions agree
+    # The coalescing guarantee: every file was extracted exactly once,
+    # despite 16 sessions needing it concurrently.
+    assert adapter.extract_calls, "queries never reached extraction"
+    assert all(count == 1 for count in adapter.extract_calls.values()), \
+        adapter.extract_calls
+    # At least one session shared another session's extraction, and the
+    # per-session reports distinguish the two kinds of work.
+    total_here = sum(o.rows_extracted_here for o in outcomes)
+    total_waited = sum(o.rows_coalesced for o in outcomes)
+    assert total_waited > 0
+    assert total_here > 0
+
+
+def test_concurrent_distinct_queries_match_serial_results(demo_repo):
+    """Concurrency must never change answers (with parallel extraction)."""
+    serial = SeismicWarehouse(demo_repo.root, mode="lazy")
+    queries = [
+        ("SELECT MIN(D.sample_value), MAX(D.sample_value), COUNT(*) "
+         f"FROM mseed.dataview WHERE F.station = '{station}' "
+         f"AND F.channel = '{channel}'")
+        for station in ("HGN", "DBN", "ISK")
+        for channel in ("BHE", "BHZ")
+    ]
+    expected = [serial.query(q).rows() for q in queries]
+
+    wh = SeismicWarehouse(demo_repo.root, mode="lazy")
+    with wh.serve(max_workers=6, extract_workers=2) as svc:
+        sessions = [svc.session(f"s{i}") for i in range(len(queries))]
+        futures = [s.submit(q) for s, q in zip(sessions, queries)]
+        outcomes = [f.result(timeout=120) for f in futures]
+    for outcome, rows in zip(outcomes, expected):
+        assert outcome.result.rows() == rows
+
+
+def test_repeated_service_queries_hit_cache(tiny_repo):
+    adapter = CountingAdapter()
+    wh = SeismicWarehouse(tiny_repo.root, mode="lazy", adapter=adapter,
+                          enable_recycler=False)
+    with wh.serve(max_workers=4) as svc:
+        session = svc.session("repeat")
+        session.query(MULTI_FILE_QUERY)
+        first_calls = dict(adapter.extract_calls)
+        session.query(MULTI_FILE_QUERY)
+    assert adapter.extract_calls == first_calls  # warm pass: zero extraction
+
+
+def test_admission_controller_round_robin_fairness():
+    admission = AdmissionController(queue_depth=32, fair=True)
+    for i in range(10):
+        admission.submit("greedy", f"g{i}")
+    admission.submit("interactive", "i0")
+    order = [admission.next_item(timeout=0) for _ in range(4)]
+    # The interactive session is served on the second slot, not slot 11.
+    assert order[0] == "g0"
+    assert order[1] == "i0"
+    assert order[2:] == ["g1", "g2"]
+
+
+def test_admission_controller_global_fifo_when_unfair():
+    admission = AdmissionController(queue_depth=32, fair=False)
+
+    class Item:
+        def __init__(self, seq, tag):
+            self.submit_seq = seq
+            self.tag = tag
+
+    admission.submit("a", Item(1, "a1"))
+    admission.submit("a", Item(2, "a2"))
+    admission.submit("b", Item(3, "b1"))
+    tags = [admission.next_item(timeout=0).tag for _ in range(3)]
+    assert tags == ["a1", "a2", "b1"]
+
+
+def test_admission_queue_rejects_when_full(tiny_repo):
+    adapter = CountingAdapter(delay_s=0.5)
+    wh = SeismicWarehouse(tiny_repo.root, mode="lazy", adapter=adapter,
+                          enable_recycler=False)
+    with wh.serve(max_workers=1, queue_depth=2) as svc:
+        blocker = svc.session("blocker")
+        first = blocker.submit(MULTI_FILE_QUERY)  # occupies the worker
+        time.sleep(0.1)  # let the worker dequeue it
+        backlog = [blocker.submit(MULTI_FILE_QUERY) for _ in range(2)]
+        with pytest.raises(AdmissionError):
+            for _ in range(8):  # the queue is full; some submit must bounce
+                backlog.append(blocker.submit(MULTI_FILE_QUERY))
+        rejected = svc.stats().admission.rejected
+        assert rejected >= 1
+        for future in [first, *backlog]:
+            future.result(timeout=120)
+
+
+def test_closed_service_rejects_submissions(tiny_repo):
+    wh = SeismicWarehouse(tiny_repo.root, mode="lazy")
+    svc = wh.serve(max_workers=1)
+    svc.close()
+    with pytest.raises(ServiceClosedError):
+        svc.submit("anyone", "SELECT COUNT(*) FROM mseed.files")
+    # Hooks are detached so the warehouse keeps working single-threaded.
+    assert wh.pipeline.binding.coalescer is None
+    assert wh.query("SELECT COUNT(*) FROM mseed.files").scalar() == \
+        len(tiny_repo.entries)
+
+
+def test_coalescer_claim_partition_and_publish():
+    coalescer = ExtractionCoalescer()
+    first = coalescer.claim("f.mseed", [1, 2, 3], ["sample_value"])
+    assert first.led_seqs == [1, 2, 3] and not first.waits
+    second = coalescer.claim("f.mseed", [2, 3, 4], ["sample_value"])
+    assert second.led_seqs == [4]
+    assert list(second.waits.values()) == [[2, 3]]
+    import numpy as np
+
+    payload = {seq: {"sample_value": np.arange(4)} for seq in (1, 2, 3)}
+    coalescer.publish("f.mseed", first.flight, payload)
+    got = coalescer.wait(first.flight, [2, 3], timeout=1.0)
+    assert got is not None and sorted(got) == [2, 3]
+    # All keys retired: a fresh claim leads again.
+    third = coalescer.claim("f.mseed", [1, 2], ["sample_value"])
+    assert third.led_seqs == [1, 2]
+    coalescer.publish("f.mseed", second.flight, {})
+    coalescer.publish("f.mseed", third.flight, {})
+
+
+def test_coalescer_failed_flight_falls_back():
+    coalescer = ExtractionCoalescer()
+    lead = coalescer.claim("g.mseed", [7], ["sample_value"])
+    wait = coalescer.claim("g.mseed", [7], ["sample_value"])
+    coalescer.publish("g.mseed", lead.flight, {}, error=RuntimeError("boom"))
+    flight = next(iter(wait.waits))
+    assert coalescer.wait(flight, [7], timeout=1.0) is None
+    # The failure retired the keys: the waiter can claim leadership now.
+    retry = coalescer.claim("g.mseed", [7], ["sample_value"])
+    assert retry.led_seqs == [7]
+    coalescer.publish("g.mseed", retry.flight, {})
+
+
+def test_service_stats_latencies(tiny_repo):
+    wh = SeismicWarehouse(tiny_repo.root, mode="lazy")
+    with wh.serve(max_workers=2) as svc:
+        session = svc.session()
+        for _ in range(5):
+            session.query("SELECT COUNT(*) FROM mseed.files")
+        stats = svc.stats()
+    assert stats.completed == 5 and stats.failed == 0
+    assert len(stats.latencies_s) == 5
+    assert stats.percentile(99) >= stats.percentile(50) >= 0.0
+
+
+def test_service_query_error_propagates(tiny_repo):
+    wh = SeismicWarehouse(tiny_repo.root, mode="lazy")
+    with wh.serve(max_workers=1) as svc:
+        future = svc.submit("s", "SELECT nonsense FROM nowhere")
+        with pytest.raises(Exception):
+            future.result(timeout=60)
+        assert svc.stats().failed == 1
+        # The worker survives a failed query.
+        ok = svc.session("s").query("SELECT COUNT(*) FROM mseed.files")
+    assert ok.result.scalar() == len(tiny_repo.entries)
