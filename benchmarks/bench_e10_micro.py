@@ -1,4 +1,8 @@
-"""E10 — format micro-benchmarks: the asymmetry lazy loading exploits."""
+"""E10 — format micro-benchmarks: the asymmetry lazy loading exploits.
+
+Also covers the SQL compile path: parse/plan/execute split and the
+plan-cache speedup for prepared re-execution (unified API tentpole).
+"""
 
 import numpy as np
 
@@ -6,6 +10,8 @@ from repro.bench.harness import run_e10
 from repro.bench.workload import shared_demo_repo
 from repro.mseed import steim
 from repro.mseed.files import read_file, scan_file_headers
+from repro.seismology.queries import fig1_query2_template
+from repro.seismology.warehouse import SeismicWarehouse
 
 
 def test_e10_header_scan(benchmark):
@@ -38,3 +44,30 @@ def test_e10_steim2_encode(benchmark):
     wave = np.cumsum(rng.integers(-60, 60, 20_000)).astype(np.int32)
     payload, count = benchmark(lambda: steim.encode_steim2(wave, 10_000))
     assert count == len(wave)
+
+
+def test_e10_plan_cache_speedup():
+    """Prepared + plan-cached re-execution: >= 3x on the compile portion."""
+    root, _manifest = shared_demo_repo()
+    wh = SeismicWarehouse(root, mode="lazy")
+    template = fig1_query2_template()
+    _res, cold, _ = wh.db.query_with_report(
+        template, {"network": "NL", "channel": "BHZ"})
+    assert not cold.plan_cache_hit
+    _res, warm, _ = wh.db.query_with_report(
+        template, {"network": "KO", "channel": "BHZ"})
+    assert warm.plan_cache_hit
+    assert warm.bind_s == 0.0 and warm.optimize_s == 0.0
+    assert cold.plan_s / max(warm.plan_s, 1e-9) >= 3.0
+
+
+def test_e10_prepared_reexecution(benchmark):
+    """Steady-state latency of a prepared, parameterised aggregate."""
+    root, _manifest = shared_demo_repo()
+    wh = SeismicWarehouse(root, mode="lazy")
+    conn = wh.connect()
+    stmt = conn.prepare(fig1_query2_template())
+    params = {"network": "NL", "channel": "BHZ"}
+    stmt.query(params)  # warm: plan cache + extraction cache + recycler
+    rows = benchmark(lambda: stmt.query(params).rows())
+    assert rows

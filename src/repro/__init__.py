@@ -18,6 +18,8 @@ Packages:
 
 * :mod:`repro.mseed` — the mSEED file-format substrate (Steim codecs,
   records, synthetic repositories);
+* :mod:`repro.api` — the unified client API: Connection / Cursor /
+  PreparedStatement with streaming fetch and plan caching;
 * :mod:`repro.db` — the columnar SQL engine (MonetDB stand-in) with
   run-time plan rewriting and intermediate-result recycling;
 * :mod:`repro.etl` — the Lazy ETL core plus eager and external baselines;
@@ -28,6 +30,7 @@ Packages:
 * :mod:`repro.bench` — workload generators and the experiment harness.
 """
 
+from repro.api import Connection, Cursor, PreparedStatement, connect
 from repro.db import Database, Result
 from repro.etl import (
     EagerETL,
@@ -56,6 +59,10 @@ from repro.service import ServiceConfig, WarehouseService
 __version__ = "1.0.0"
 
 __all__ = [
+    "Connection",
+    "Cursor",
+    "PreparedStatement",
+    "connect",
     "Database",
     "Result",
     "LazyETL",

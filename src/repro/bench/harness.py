@@ -430,11 +430,18 @@ def run_e9() -> ExperimentTable:
 
 
 def run_e10() -> ExperimentTable:
-    """Why metadata is cheap: header scans vs full decode, codec speed."""
+    """Why metadata is cheap: header scans vs full decode, codec speed.
+
+    Also measures the SQL compile path: parse/bind/optimise split for a
+    cold Figure-1-style query vs a plan-cache hit, and prepared
+    re-execution with rebound parameters — the hot path of repeat
+    interactive queries.
+    """
     import os
 
     from repro.mseed import steim
     from repro.mseed.files import read_file, scan_file_headers
+    from repro.seismology.queries import fig1_query2_template
 
     root, manifest = shared_demo_repo()
     paths = [e.path for e in manifest.entries[:6]]
@@ -468,9 +475,41 @@ def run_e10() -> ExperimentTable:
     table.add_row("Steim-2 decode", f"{count} samples",
                   format_duration(dec_s),
                   f"{count / max(dec_s, 1e-9):,.0f} samples/s")
+
+    # SQL compile costs: cold parse+bind+optimise vs a plan-cache hit,
+    # prepared re-execution across parameter sets (unified API tentpole).
+    wh = SeismicWarehouse(root, mode="lazy")
+    template = fig1_query2_template()
+    _res, cold, _trace = wh.db.query_with_report(
+        template, {"network": "NL", "channel": "BHZ"})
+    warm_plans = []
+    exec_times = []
+    for network in ("KO", "GE", "NL"):
+        _res, rep, _trace = wh.db.query_with_report(
+            template, {"network": network, "channel": "BHZ"})
+        warm_plans.append(rep.plan_s)
+        exec_times.append(rep.execute_s)
+    warm_plan = sum(warm_plans) / len(warm_plans)
+    speedup = cold.plan_s / max(warm_plan, 1e-9)
+    table.add_row(
+        "SQL compile, cold (Fig-1 Q2, parameterised)",
+        f"parse {cold.parse_s * 1e3:.2f} ms / bind {cold.bind_s * 1e3:.2f} ms"
+        f" / optimise {cold.optimize_s * 1e3:.2f} ms",
+        format_duration(cold.plan_s), "1x (baseline)",
+    )
+    table.add_row(
+        "SQL compile, plan-cache hit (prepared re-execution)",
+        f"3 re-executions, execute {format_duration(sum(exec_times))}",
+        format_duration(warm_plan), f"{speedup:,.0f}x faster",
+    )
     table.add_note(
         f"header scanning is {full_s / max(scan_s, 1e-9):.0f}x cheaper than "
         "decoding — the asymmetry metadata-only initial loading exploits."
+    )
+    table.add_note(
+        f"plan-cached re-execution skips parse+bind+optimise entirely: "
+        f"{speedup:,.0f}x faster on the compile portion (acceptance "
+        "threshold: >= 3x); one compiled plan serves every parameter set."
     )
     return table
 

@@ -104,6 +104,15 @@ class Catalog:
         self._bindings: dict[str, LazyTableBinding] = {}
         self._store = None  # TableStore set by attach()
         self._checkpointed_versions: dict[str, int] = {}
+        # Schema epoch: bumped by every DDL-level change (create/drop of
+        # schemas, tables and views, lazy (un)binding, store attachment).
+        # Compiled plans are cached keyed by (SQL, epoch), so any change
+        # that could alter name resolution or plan shape makes every
+        # previously cached plan unreachable.
+        self.epoch = 0
+
+    def _bump_epoch(self) -> None:
+        self.epoch += 1
 
     # -- schemas ---------------------------------------------------------------
 
@@ -114,6 +123,7 @@ class Catalog:
                 return
             raise CatalogError(f"schema {name!r} already exists")
         self._schemas[key] = SchemaEntry(key)
+        self._bump_epoch()
 
     def drop_schema(self, name: str, *, if_exists: bool = False) -> None:
         key = name.lower()
@@ -124,6 +134,7 @@ class Catalog:
                 return
             raise CatalogError(f"unknown schema {name!r}")
         del self._schemas[key]
+        self._bump_epoch()
 
     def schema_names(self) -> list[str]:
         return sorted(self._schemas)
@@ -157,6 +168,7 @@ class Catalog:
             )
         table = Table(f"{schema_name}.{table_name}", schema)
         entry.tables[table_name] = table
+        self._bump_epoch()
         return table
 
     def drop_table(self, parts: tuple[str, ...], *, if_exists: bool = False) -> None:
@@ -168,6 +180,7 @@ class Catalog:
             raise CatalogError(f"unknown table {schema_name}.{table_name}")
         del entry.tables[table_name]
         self._bindings.pop(f"{schema_name}.{table_name}", None)
+        self._bump_epoch()
 
     def table(self, parts: tuple[str, ...]) -> Table:
         schema_name, table_name = self.split_name(parts)
@@ -211,6 +224,7 @@ class Catalog:
             alias_map=self._provenance(select),
         )
         entry.views[view_name] = view
+        self._bump_epoch()
         return view
 
     def drop_view(self, parts: tuple[str, ...], *, if_exists: bool = False) -> None:
@@ -221,6 +235,7 @@ class Catalog:
                 return
             raise CatalogError(f"unknown view {schema_name}.{view_name}")
         del entry.views[view_name]
+        self._bump_epoch()
 
     def _provenance(self, select: ast.SelectStmt) -> dict[tuple[str, str], str]:
         """Map the view's inner aliases to output names.
@@ -277,6 +292,7 @@ class Catalog:
         self._bindings[qualified] = binding
         # The optimiser reads the binding straight off the table object.
         table.lazy_binding = binding  # type: ignore[attr-defined]
+        self._bump_epoch()
 
     def unbind_lazy(self, parts: tuple[str, ...]) -> None:
         schema_name, table_name = self.split_name(parts)
@@ -285,6 +301,7 @@ class Catalog:
             table = self.table(parts)
             if getattr(table, "lazy_binding", None) is binding:
                 del table.lazy_binding  # type: ignore[attr-defined]
+            self._bump_epoch()
 
     def lazy_binding(self, qualified_name: str) -> Optional[LazyTableBinding]:
         return self._bindings.get(qualified_name)
@@ -338,6 +355,7 @@ class Catalog:
                 _check_schema_match(qualified, table.schema, stored_schema)
             table.attach_backing(store.backing_for(qualified))
         self._store = store
+        self._bump_epoch()
         return store
 
     def checkpoint(self) -> list[str]:

@@ -9,11 +9,27 @@ exposes the introspection surface the demo scenario needs:
   rewriting operator (demo item 5),
 * :attr:`Database.recycler` — cache contents and update behaviour (7),
 * :attr:`Database.oplog` — the ordered operation log (8).
+
+Query compilation is **plan-cached**: compiled SELECT plans are kept in a
+size-bounded LRU keyed by (normalised SQL text, catalog schema
+epoch), so re-running the same — or the same *parameterised* — statement
+skips parsing, binding and optimisation entirely.  DDL bumps the schema
+epoch (every cached plan becomes unreachable); DML evicts the plans that
+scan the mutated table through the same :meth:`Database._invalidate_for`
+path that already drops recycler intermediates.
+
+Execution comes in two shapes: the classic materialised
+:class:`~repro.db.exec.result.Result`, and :class:`StreamingQuery` — the
+cursor path — which pulls the final projection in row batches so
+consumption can start before the full result (or, behind a LIMIT, even
+the full extraction) exists.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -28,17 +44,25 @@ from repro.db.plan import explain as explain_mod
 from repro.db.plan.logical import LogicalNode, bind_select
 from repro.db.plan.optimizer import optimize
 from repro.db.plan.physical import (
-    Chunk,
+    DEFAULT_BATCH_ROWS,
     ExecutionContext,
     PhysicalNode,
     build_physical,
 )
 from repro.db.sql import ast
-from repro.db.sql.parser import parse_statement
+from repro.db.sql.parameters import (
+    ParamSpec,
+    collect_bound_params,
+    resolve_param_values,
+    substitute_ast_params,
+)
+from repro.db.sql.parser import parse_prepared, parse_statement
 from repro.db.table import ColumnSpec, ForeignKeySpec, Table, TableSchema
 from repro.db.types import DataType, type_from_name
-from repro.errors import BindError, DatabaseError, ExecutionError, SQLError
+from repro.errors import BindError, ExecutionError, SQLError
 from repro.util.oplog import OperationLog
+
+ParamValues = "Sequence | Mapping | None"
 
 
 @dataclass
@@ -53,6 +77,9 @@ class QueryReport:
     rows_out: int = 0
     rows_extracted: int = 0
     operators_run: int = 0
+    # Whether compilation was satisfied from the plan cache (parse/bind/
+    # optimize were skipped; parse_s then only covers lexing the key).
+    plan_cache_hit: bool = False
     # Disk-backed scan I/O (storage engine): pages fetched vs pages of
     # columns the query never touched.
     pages_read: int = 0
@@ -64,8 +91,186 @@ class QueryReport:
     rows_coalesced: int = 0
 
     @property
+    def plan_s(self) -> float:
+        """Compile-side cost: parse + bind + optimise."""
+        return self.parse_s + self.bind_s + self.optimize_s
+
+    @property
     def total_s(self) -> float:
         return self.parse_s + self.bind_s + self.optimize_s + self.execute_s
+
+
+@dataclass
+class _CachedPlan:
+    """One compiled SELECT, shareable across executions and threads.
+
+    Physical operators are stateless at execution time (all run-time
+    state lives in the per-execution :class:`ExecutionContext`, and
+    parameter values travel through a context variable), so one compiled
+    plan safely serves concurrent sessions.
+    """
+
+    stmt: ast.SelectStmt
+    naive: LogicalNode
+    optimized: LogicalNode
+    physical: PhysicalNode
+    spec: ParamSpec
+    bound_params: list = field(default_factory=list)
+    tables: frozenset = frozenset()
+
+
+@dataclass
+class _CachedStatement:
+    """A parsed non-SELECT statement (no plan to cache, but repeat
+    executions — ``executemany`` DML batches especially — skip lexing
+    and parsing).  Safe to share: execution resolves table names against
+    the live catalog and parameter substitution never mutates the AST.
+    """
+
+    stmt: ast.Statement
+    spec: ParamSpec
+    # Non-SELECT statements resolve table names at execution time, so
+    # DML never invalidates them; present for uniform cache handling.
+    tables: frozenset = frozenset()
+
+
+def _plan_tables(node: LogicalNode) -> set[str]:
+    """Qualified names of every base/lazy table a plan touches."""
+    from repro.db.plan import logical as lg
+
+    names: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, lg.LScan):
+            names.add(current.qualified_name)
+        elif isinstance(current, (lg.LScanAll, lg.LLazyFetch)):
+            names.add(current.table_name)
+        stack.extend(current.children())
+    return names
+
+
+class CompletedQuery:
+    """An already-materialised execution behind the cursor protocol.
+
+    DDL/DML statements, EXPLAIN, and queries served remotely by a
+    :class:`~repro.service.service.WarehouseService` finish before the
+    cursor sees them; this adapter gives them the same ``names`` /
+    ``dtypes`` / ``batches()`` surface a :class:`StreamingQuery` has.
+    """
+
+    def __init__(self, result: Result, report: "QueryReport",
+                 trace: list[dict], *, is_rowset: bool = True,
+                 rowcount: Optional[int] = None) -> None:
+        self.result = result
+        self.report = report
+        self.trace = trace
+        self.is_rowset = is_rowset
+        self.rowcount = (rowcount if rowcount is not None
+                         else result.row_count if is_rowset else -1)
+
+    @property
+    def names(self) -> list[str]:
+        return self.result.names
+
+    @property
+    def dtypes(self) -> list[DataType]:
+        return self.result.dtypes
+
+    def batches(self):
+        if self.is_rowset and self.result.row_count:
+            yield self.result
+
+    def close(self) -> None:  # protocol symmetry with StreamingQuery
+        pass
+
+
+class StreamingQuery:
+    """One SELECT being pulled in row batches (the cursor fast path).
+
+    The final projection streams out of :meth:`PhysicalNode.
+    execute_batches`: fully streamable plans (scan → filter → project
+    [→ limit]) yield their first rows before the scan's full output is
+    ever materialised, and a LIMIT stops upstream work early.  Plans
+    with pipeline breakers (aggregate, sort, join) materialise at the
+    breaker and stream the tail above it.
+
+    The per-query :class:`QueryReport` fills progressively;
+    counters and the oplog "done" record land when the stream is
+    exhausted or :meth:`close` is called.
+    """
+
+    def __init__(self, db: "Database", entry: _CachedPlan, sql: str,
+                 values: Optional[dict], report: "QueryReport",
+                 batch_rows: int) -> None:
+        self.db = db
+        self.entry = entry
+        self.sql = sql
+        self.report = report
+        self.is_rowset = True
+        self.names = [c.name for c in entry.optimized.output]
+        self.dtypes = [c.dtype for c in entry.optimized.output]
+        self.rowcount = -1  # unknown until the stream is exhausted
+        self._values = values
+        self._ctx = ExecutionContext(oplog=db.oplog, recycler=db.recycler)
+        self.trace = self._ctx.trace
+        self._finished = False
+        db.last_plan_logical = entry.naive
+        db.last_plan_optimized = entry.optimized
+        db.last_plan_physical = entry.physical
+        db.oplog.record("query", "execute (streaming)",
+                        sql=sql[:120].replace("\n", " "))
+        self._gen = entry.physical.execute_batches(self._ctx, batch_rows)
+
+    def batches(self):
+        """Yield one :class:`Result` per row batch of the projection."""
+        out_cols = self.entry.optimized.output
+        while not self._finished:
+            started = time.perf_counter()
+            try:
+                # Parameter values are (re)installed around every pull:
+                # interleaved cursors on one thread must each see their
+                # own bindings.
+                with ex.active_params(self._values):
+                    chunk = next(self._gen)
+            except StopIteration:
+                self.report.execute_s += time.perf_counter() - started
+                self._finalize()
+                return
+            self.report.execute_s += time.perf_counter() - started
+            self.report.rows_out += chunk.length
+            yield Result(self.names,
+                         [chunk.columns[c.cid] for c in out_cols])
+
+    def close(self) -> None:
+        """Abandon the stream (partial consumption still reports)."""
+        if not self._finished:
+            self._gen.close()
+            self._finalize()
+
+    def _finalize(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        ctx, report = self._ctx, self.report
+        report.rows_extracted = ctx.rows_extracted
+        report.operators_run = ctx.operators_run
+        report.pages_read = ctx.pages_read
+        report.pages_skipped = ctx.pages_skipped
+        for entry in ctx.trace:
+            if entry.get("op") == "extract":
+                report.rows_extracted_here += entry.get("rows", 0)
+            elif entry.get("op") == "extract_wait":
+                report.rows_coalesced += entry.get("rows", 0)
+        self.rowcount = report.rows_out
+        self.db.last_trace = ctx.trace
+        self.db.last_report = report
+        self.db.oplog.record(
+            "query", "done",
+            rows=report.rows_out,
+            seconds=round(report.execute_s, 4),
+            extracted=ctx.rows_extracted,
+        )
 
 
 class Database:
@@ -80,6 +285,7 @@ class Database:
         enable_recycler: bool = True,
         enable_lazy_rewrite: bool = True,
         enable_pruning: bool = True,
+        plan_cache_size: int = 128,
     ) -> None:
         self.catalog = Catalog()
         # Explicit None check: an empty OperationLog is falsy (len == 0).
@@ -90,6 +296,14 @@ class Database:
         )
         self.enable_lazy_rewrite = enable_lazy_rewrite
         self.enable_pruning = enable_pruning
+        self.plan_cache_size = plan_cache_size
+        self._plan_cache: \
+            "OrderedDict[tuple, _CachedPlan | _CachedStatement]" = \
+            OrderedDict()
+        # Service worker threads compile and invalidate concurrently.
+        self._plan_lock = threading.RLock()
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self.last_trace: list[dict] = []
         self.last_plan_logical: Optional[LogicalNode] = None
         self.last_plan_optimized: Optional[LogicalNode] = None
@@ -98,36 +312,64 @@ class Database:
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, sql: str) -> Result:
+    def execute(self, sql: str, params: ParamValues = None) -> Result:
         """Run any statement; DDL/DML return a one-cell status result."""
-        stmt = parse_statement(sql)
-        if isinstance(stmt, ast.SelectStmt):
-            return self._run_select(stmt, sql)
-        if isinstance(stmt, ast.ExplainStmt):
-            text = self._explain_select(stmt.select)
-            return Result(["plan"],
-                          [Column.from_values(DataType.VARCHAR, [text])])
-        handler = {
-            ast.CreateTableStmt: self._create_table,
-            ast.CreateViewStmt: self._create_view,
-            ast.CreateSchemaStmt: self._create_schema,
-            ast.DropStmt: self._drop,
-            ast.InsertStmt: self._insert,
-            ast.DeleteStmt: self._delete,
-            ast.UpdateStmt: self._update,
-        }.get(type(stmt))
-        if handler is None:
-            raise SQLError(f"unsupported statement {type(stmt).__name__}")
-        message = handler(stmt)  # type: ignore[arg-type]
-        return Result(["status"],
-                      [Column.from_values(DataType.VARCHAR, [message])])
+        kind, payload, report = self._compile_sql(sql)
+        if kind == "select":
+            result, _report, _trace = self._execute_entry(
+                payload, sql, params, report)
+            return result
+        result, _rowcount = self._execute_other(payload, params)
+        return result
 
-    def query(self, sql: str) -> Result:
+    def query(self, sql: str, params: ParamValues = None) -> Result:
         """Run a SELECT (raises on anything else)."""
-        stmt = parse_statement(sql)
-        if isinstance(stmt, ast.SelectStmt):
-            return self._run_select(stmt, sql)
-        raise SQLError("query() requires a SELECT statement")
+        kind, payload, report = self._compile_sql(sql)
+        if kind != "select":
+            raise SQLError("query() requires a SELECT statement")
+        result, _report, _trace = self._execute_entry(
+            payload, sql, params, report)
+        return result
+
+    def query_with_report(self, sql: str, params: ParamValues = None
+                          ) -> tuple[Result, QueryReport, list[dict]]:
+        """Run a SELECT and return its private report and trace.
+
+        This is the concurrency-safe entry point the query service uses:
+        each call gets its own :class:`QueryReport` and trace list, so
+        parallel sessions never read each other's ``last_report``.  (The
+        ``last_*`` introspection attributes are still updated — they are
+        last-writer-wins under concurrency, by design.)
+
+        .. deprecated:: prefer a cursor (``repro.api``), whose
+           ``report`` / ``trace`` attributes carry the same data without
+           tuple juggling.
+        """
+        kind, payload, report = self._compile_sql(sql)
+        if kind != "select":
+            raise SQLError("query_with_report() requires a SELECT statement")
+        return self._execute_entry(payload, sql, params, report)
+
+    def open_query(self, sql: str, params: ParamValues = None,
+                   *, batch_rows: Optional[int] = None
+                   ) -> "StreamingQuery | CompletedQuery":
+        """Start a statement for cursor-style batched consumption.
+
+        SELECTs return a :class:`StreamingQuery` whose batches are pulled
+        on demand; everything else executes immediately and comes back as
+        a :class:`CompletedQuery`.
+        """
+        kind, payload, report = self._compile_sql(sql)
+        if kind == "select":
+            values = resolve_param_values(
+                payload.spec, payload.bound_params, params)
+            return StreamingQuery(self, payload, sql, values, report,
+                                  batch_rows or DEFAULT_BATCH_ROWS)
+        stmt, _spec = payload
+        result, rowcount = self._execute_other(payload, params)
+        is_rowset = isinstance(stmt, ast.ExplainStmt)
+        return CompletedQuery(result, report, [], is_rowset=is_rowset,
+                              rowcount=None if is_rowset else rowcount)
 
     def explain(self, sql: str) -> str:
         """Compile-time plan report for a SELECT."""
@@ -138,7 +380,7 @@ class Database:
             raise SQLError("explain() requires a SELECT statement")
         return self._explain_select(stmt)
 
-    # -- SELECT path ------------------------------------------------------------
+    # -- compilation & the plan cache ------------------------------------------
 
     def _compile(self, stmt: ast.SelectStmt) -> tuple[LogicalNode, LogicalNode,
                                                       PhysicalNode]:
@@ -154,52 +396,105 @@ class Database:
         physical = build_physical(optimized, self.recycler)
         return naive, optimized, physical
 
-    def _run_select(self, stmt: ast.SelectStmt, sql: str) -> Result:
-        result, _report, _trace = self._execute_select(stmt, sql)
-        return result
+    def _compile_sql(self, sql: str):
+        """Lex, consult the plan cache, and (on a miss) parse/bind/optimise.
 
-    def query_with_report(self, sql: str) -> tuple[Result, QueryReport,
-                                                   list[dict]]:
-        """Run a SELECT and return its private report and trace.
-
-        This is the concurrency-safe entry point the query service uses:
-        each call gets its own :class:`QueryReport` and trace list, so
-        parallel sessions never read each other's ``last_report``.  (The
-        ``last_*`` introspection attributes are still updated — they are
-        last-writer-wins under concurrency, by design.)
+        Returns ``(kind, payload, report)`` where ``kind`` is ``'select'``
+        (payload: :class:`_CachedPlan`) or ``'other'`` (payload:
+        ``(statement, ParamSpec)``); ``report`` is a fresh
+        :class:`QueryReport` carrying the compile timings.
         """
-        stmt = parse_statement(sql)
-        if not isinstance(stmt, ast.SelectStmt):
-            raise SQLError("query_with_report() requires a SELECT statement")
-        return self._execute_select(stmt, sql)
-
-    def _execute_select(self, stmt: ast.SelectStmt, sql: str
-                        ) -> tuple[Result, QueryReport, list[dict]]:
         report = QueryReport(sql=sql)
         started = time.perf_counter()
-        naive, optimized, physical = self._compile(stmt)
-        report.bind_s = time.perf_counter() - started
+        # The key is the normalised (stripped) statement text: an exact
+        # string hash keeps cache hits O(len(sql)) with no lexing, which
+        # is what makes prepared re-execution essentially free.  Textual
+        # variants of one query simply compile into separate entries.
+        key = (sql.strip(), self.catalog.epoch)
+        with self._plan_lock:
+            entry = self._plan_cache.get(key)
+            if entry is not None:
+                self._plan_cache.move_to_end(key)
+                self.plan_cache_hits += 1
+        if entry is not None:
+            report.parse_s = time.perf_counter() - started
+            report.plan_cache_hit = True
+            if isinstance(entry, _CachedPlan):
+                return "select", entry, report
+            return "other", (entry.stmt, entry.spec), report
 
-        self.last_plan_logical = naive
-        self.last_plan_optimized = optimized
-        self.last_plan_physical = physical
+        stmt, spec = parse_prepared(sql)
+        report.parse_s = time.perf_counter() - started
+        if not isinstance(stmt, ast.SelectStmt):
+            self._store_cache_entry(key, _CachedStatement(stmt, spec))
+            return "other", (stmt, spec), report
+
+        started = time.perf_counter()
+        naive = bind_select(self.catalog, stmt)
+        bound = bind_select(self.catalog, stmt)
+        report.bind_s = time.perf_counter() - started
+        started = time.perf_counter()
+        optimized = optimize(
+            bound,
+            enable_lazy_rewrite=self.enable_lazy_rewrite,
+            enable_pruning=self.enable_pruning,
+        )
+        physical = build_physical(optimized, self.recycler)
+        report.optimize_s = time.perf_counter() - started
+        entry = _CachedPlan(
+            stmt=stmt, naive=naive, optimized=optimized, physical=physical,
+            spec=spec, bound_params=collect_bound_params(optimized),
+            tables=frozenset(_plan_tables(optimized)),
+        )
+        self._store_cache_entry(key, entry)
+        return "select", entry, report
+
+    def _store_cache_entry(self, key: tuple, entry) -> None:
+        if self.plan_cache_size <= 0:
+            return
+        with self._plan_lock:
+            self.plan_cache_misses += 1
+            self._plan_cache[key] = entry
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+
+    def plan_cache_len(self) -> int:
+        with self._plan_lock:
+            return len(self._plan_cache)
+
+    def clear_plan_cache(self) -> None:
+        with self._plan_lock:
+            self._plan_cache.clear()
+
+    # -- SELECT execution -------------------------------------------------------
+
+    def _execute_entry(self, entry: _CachedPlan, sql: str,
+                       params: ParamValues, report: QueryReport
+                       ) -> tuple[Result, QueryReport, list[dict]]:
+        values = resolve_param_values(entry.spec, entry.bound_params, params)
+
+        self.last_plan_logical = entry.naive
+        self.last_plan_optimized = entry.optimized
+        self.last_plan_physical = entry.physical
 
         ctx = ExecutionContext(oplog=self.oplog, recycler=self.recycler)
         self.oplog.record("query", "execute",
                           sql=sql[:120].replace("\n", " "))
         started = time.perf_counter()
-        chunk = physical.execute(ctx)
+        with ex.active_params(values):
+            chunk = entry.physical.execute(ctx)
         report.execute_s = time.perf_counter() - started
         report.rows_out = chunk.length
         report.rows_extracted = ctx.rows_extracted
         report.operators_run = ctx.operators_run
         report.pages_read = ctx.pages_read
         report.pages_skipped = ctx.pages_skipped
-        for entry in ctx.trace:
-            if entry.get("op") == "extract":
-                report.rows_extracted_here += entry.get("rows", 0)
-            elif entry.get("op") == "extract_wait":
-                report.rows_coalesced += entry.get("rows", 0)
+        for entry_ in ctx.trace:
+            if entry_.get("op") == "extract":
+                report.rows_extracted_here += entry_.get("rows", 0)
+            elif entry_.get("op") == "extract_wait":
+                report.rows_coalesced += entry_.get("rows", 0)
         self.last_trace = ctx.trace
         self.last_report = report
         self.oplog.record(
@@ -208,9 +503,46 @@ class Database:
             seconds=round(report.execute_s, 4),
             extracted=ctx.rows_extracted,
         )
-        names = [c.name for c in optimized.output]
-        columns = [chunk.columns[c.cid] for c in optimized.output]
+        names = [c.name for c in entry.optimized.output]
+        columns = [chunk.columns[c.cid] for c in entry.optimized.output]
         return Result(names, columns), report, ctx.trace
+
+    # -- non-SELECT execution ---------------------------------------------------
+
+    def _execute_other(self, payload, params: ParamValues
+                       ) -> tuple[Result, int]:
+        """Run a non-SELECT; returns its status Result and the affected-
+        row count (-1 for DDL/EXPLAIN)."""
+        stmt, spec = payload
+        if isinstance(stmt, ast.ExplainStmt):
+            # EXPLAIN never executes: parameter values (if any) are
+            # irrelevant and placeholders appear in the rendered plan.
+            text = self._explain_select(stmt.select)
+            return Result(["plan"],
+                          [Column.from_values(DataType.VARCHAR, [text])]), -1
+        values = resolve_param_values(spec, [], params)
+        if values is not None:
+            stmt = substitute_ast_params(stmt, values)
+        handler = {
+            ast.CreateTableStmt: self._create_table,
+            ast.CreateViewStmt: self._create_view,
+            ast.CreateSchemaStmt: self._create_schema,
+            ast.DropStmt: self._drop,
+            ast.InsertStmt: self._insert,
+            ast.DeleteStmt: self._delete,
+            ast.UpdateStmt: self._update,
+        }.get(type(stmt))
+        if handler is None:
+            raise SQLError(f"unsupported statement {type(stmt).__name__}")
+        message, rowcount = handler(stmt)  # type: ignore[arg-type]
+        if isinstance(stmt, (ast.CreateTableStmt, ast.CreateViewStmt,
+                             ast.CreateSchemaStmt, ast.DropStmt)):
+            # The epoch bump already made cached plans unreachable; drop
+            # them promptly instead of waiting for LRU pressure.
+            self.clear_plan_cache()
+        return Result(["status"],
+                      [Column.from_values(DataType.VARCHAR, [message])]), \
+            rowcount
 
     def _explain_select(self, stmt: ast.SelectStmt) -> str:
         naive, optimized, physical = self._compile(stmt)
@@ -232,7 +564,7 @@ class Database:
 
     # -- DDL -----------------------------------------------------------------------
 
-    def _create_table(self, stmt: ast.CreateTableStmt) -> str:
+    def _create_table(self, stmt: ast.CreateTableStmt) -> tuple[str, int]:
         specs = [
             ColumnSpec(name=c.name.lower(), dtype=type_from_name(c.type_name),
                        not_null=c.not_null)
@@ -257,21 +589,21 @@ class Database:
                                   if_not_exists=stmt.if_not_exists)
         self.oplog.record("ddl", f"create table {'.'.join(stmt.name)}",
                           columns=len(specs))
-        return f"table {'.'.join(stmt.name)} created"
+        return f"table {'.'.join(stmt.name)} created", -1
 
-    def _create_view(self, stmt: ast.CreateViewStmt) -> str:
+    def _create_view(self, stmt: ast.CreateViewStmt) -> tuple[str, int]:
         # Validate the view body by binding it now (against current catalog).
         bind_select(self.catalog, stmt.select)
         self.catalog.create_view(stmt.name, stmt.select, stmt.sql_text)
         self.oplog.record("ddl", f"create view {'.'.join(stmt.name)}")
-        return f"view {'.'.join(stmt.name)} created"
+        return f"view {'.'.join(stmt.name)} created", -1
 
-    def _create_schema(self, stmt: ast.CreateSchemaStmt) -> str:
+    def _create_schema(self, stmt: ast.CreateSchemaStmt) -> tuple[str, int]:
         self.catalog.create_schema(stmt.name, if_not_exists=stmt.if_not_exists)
         self.oplog.record("ddl", f"create schema {stmt.name}")
-        return f"schema {stmt.name} created"
+        return f"schema {stmt.name} created", -1
 
-    def _drop(self, stmt: ast.DropStmt) -> str:
+    def _drop(self, stmt: ast.DropStmt) -> tuple[str, int]:
         if stmt.kind == "table":
             self.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
         elif stmt.kind == "view":
@@ -279,7 +611,7 @@ class Database:
         else:
             self.catalog.drop_schema(stmt.name[0], if_exists=stmt.if_exists)
         self.oplog.record("ddl", f"drop {stmt.kind} {'.'.join(stmt.name)}")
-        return f"{stmt.kind} {'.'.join(stmt.name)} dropped"
+        return f"{stmt.kind} {'.'.join(stmt.name)} dropped", -1
 
     # -- DML -----------------------------------------------------------------------
 
@@ -295,7 +627,7 @@ class Database:
             values.append(col.value_at(0))
         return values
 
-    def _insert(self, stmt: ast.InsertStmt) -> str:
+    def _insert(self, stmt: ast.InsertStmt) -> tuple[str, int]:
         table = self.catalog.table(stmt.table)
         target_cols = (
             [c.lower() for c in stmt.columns]
@@ -327,7 +659,7 @@ class Database:
         count = table.append_pydict(data)
         self._invalidate_for(table)
         self.oplog.record("dml", f"insert into {table.name}", rows=count)
-        return f"{count} rows inserted into {table.name}"
+        return f"{count} rows inserted into {table.name}", count
 
     def bulk_insert(self, parts: tuple[str, ...],
                     data: Mapping[str, "np.ndarray | Column | list"],
@@ -362,7 +694,7 @@ class Database:
         scope = _Scope([FromEntry(alias=table.name.split(".")[-1], columns=cols)])
         return scope, frame
 
-    def _delete(self, stmt: ast.DeleteStmt) -> str:
+    def _delete(self, stmt: ast.DeleteStmt) -> tuple[str, int]:
         from repro.db.plan.logical import Binder
 
         table = self.catalog.table(stmt.table)
@@ -376,9 +708,9 @@ class Database:
             removed = table.delete_where(mask)
         self._invalidate_for(table)
         self.oplog.record("dml", f"delete from {table.name}", rows=removed)
-        return f"{removed} rows deleted from {table.name}"
+        return f"{removed} rows deleted from {table.name}", removed
 
-    def _update(self, stmt: ast.UpdateStmt) -> str:
+    def _update(self, stmt: ast.UpdateStmt) -> tuple[str, int]:
         from repro.db.plan.logical import Binder
 
         table = self.catalog.table(stmt.table)
@@ -402,7 +734,7 @@ class Database:
         touched = table.update_rows(mask, assignments)
         self._invalidate_for(table)
         self.oplog.record("dml", f"update {table.name}", rows=touched)
-        return f"{touched} rows updated in {table.name}"
+        return f"{touched} rows updated in {table.name}", touched
 
     # -- maintenance -----------------------------------------------------------------
 
@@ -411,6 +743,14 @@ class Database:
         # hit again; drop them eagerly to release cache budget.
         if self.recycler is not None:
             self.recycler.invalidate_matching(f"scan({table.name}@")
+        # Cached plans scanning this table carry recycler signatures and
+        # storage choices (disk-backed vs resident) baked at compile time;
+        # recompiling after DML keeps both exactly current.
+        with self._plan_lock:
+            doomed = [key for key, entry in self._plan_cache.items()
+                      if table.name in entry.tables]
+            for key in doomed:
+                del self._plan_cache[key]
 
     def table(self, name: str) -> Table:
         """Convenience: fetch a table by dotted name."""

@@ -225,6 +225,16 @@ def signature_of(node: lg.LogicalNode) -> str:
             return env.get(expr.cid, f"?{expr.cid}")
         if isinstance(expr, ex.Literal):
             return f"lit({expr.value!r}:{expr.dtype})"
+        if isinstance(expr, ex.Param):
+            # Signatures are rendered per execution, when the binding's
+            # values are active: embed the value so equal re-executions
+            # recycle and different bindings never share an entry.  The
+            # unbound form only appears outside execution (EXPLAIN) and
+            # is never used for admission or lookup.
+            values = ex.current_param_values()
+            if values is None or expr.slot not in values:
+                return f"param({expr.slot}:<unbound>)"
+            return f"param({expr.slot}={values[expr.slot]!r}:{expr.dtype})"
         if isinstance(expr, ex.BinOp):
             return f"({render_expr(expr.left)}{expr.op}{render_expr(expr.right)})"
         if isinstance(expr, ex.UnOp):

@@ -13,6 +13,8 @@ propagate NULL; AND/OR use Kleene logic; predicates select rows that are
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -28,6 +30,38 @@ from repro.db.types import (
     literal_type,
 )
 from repro.errors import BindError, ExecutionError, TypeMismatchError
+
+# Parameter values for the query executing on this thread/context.  A
+# compiled plan is shared by every execution of the same SQL (the plan
+# cache), so parameter values can never live on the plan's Param nodes —
+# they travel per-execution through this context variable, which
+# isolates concurrent service sessions and interleaved cursors alike.
+_ACTIVE_PARAMS: contextvars.ContextVar[Optional[dict]] = \
+    contextvars.ContextVar("repro_active_params", default=None)
+
+
+@contextlib.contextmanager
+def active_params(values: Optional[dict]):
+    """Make ``values`` (slot -> python value) visible to Param.eval."""
+    if values is None:
+        yield
+        return
+    token = _ACTIVE_PARAMS.set(values)
+    try:
+        yield
+    finally:
+        _ACTIVE_PARAMS.reset(token)
+
+
+def current_param_values() -> Optional[dict]:
+    """The parameter values bound to the execution on this context.
+
+    Used by recycler signature rendering: a plan fragment containing
+    placeholders is signed with the *values* of the current execution,
+    so identical re-executions recycle while different bindings can
+    never cross-contaminate.
+    """
+    return _ACTIVE_PARAMS.get()
 
 # ---------------------------------------------------------------------------
 # Node classes
@@ -121,6 +155,51 @@ class Literal(Expr):
 
     def __repr__(self) -> str:
         return f"Literal({self.value!r})"
+
+
+@dataclass
+class Param(Expr):
+    """A prepared-statement placeholder: ``?`` (int slot) or ``:name``.
+
+    The dtype is inferred at bind time from the surrounding expression
+    (the comparison peer, the BETWEEN/IN operand, an enclosing CAST).
+    The *value* is never stored on the node — plans containing Param
+    nodes are shared across executions, so values are read per
+    execution from :data:`_ACTIVE_PARAMS`.
+    """
+
+    slot: "int | str"
+    dtype: Optional[DataType] = None
+
+    @property
+    def display(self) -> str:
+        return f"?{self.slot + 1}" if isinstance(self.slot, int) \
+            else f":{self.slot}"
+
+    def key(self) -> tuple:
+        return ("param", self.slot)
+
+    def eval(self, frame: dict[int, Column], length: int) -> Column:
+        if self.dtype is None:
+            raise ExecutionError(
+                f"parameter {self.display} was never bound to a type"
+            )
+        values = _ACTIVE_PARAMS.get()
+        if values is None or self.slot not in values:
+            raise ExecutionError(
+                f"no value bound for parameter {self.display}"
+            )
+        try:
+            value = coerce_literal(values[self.slot], self.dtype)
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"parameter {self.display}: cannot bind "
+                f"{values[self.slot]!r} as {self.dtype}"
+            ) from exc
+        return Column.constant(self.dtype, value, length)
+
+    def __repr__(self) -> str:
+        return f"Param({self.display})"
 
 
 @dataclass

@@ -160,6 +160,12 @@ class LLazyFetch(LogicalNode):
     needed: list[str] = field(default_factory=list)
     residuals: list[ex.Expr] = field(default_factory=list)
     time_bounds: tuple[Optional[int], Optional[int]] = (None, None)
+    # Range-column bounds whose values are only known at execution time
+    # (prepared-statement parameters): ``(op, expr)`` pairs, op in
+    # ``('>', '>=', '<', '<=')``.  Resolved per execution and tightened
+    # into ``time_bounds`` so parameterised windows prune extraction
+    # exactly like literal ones.
+    dynamic_bounds: list[tuple[str, ex.Expr]] = field(default_factory=list)
     output: list[OutCol] = field(default_factory=list)
 
     def children(self) -> list[LogicalNode]:
@@ -387,6 +393,11 @@ class Binder:
         for call in agg_calls:
             bound_arg = (None if call.arg is None
                          else self.bind_expr(call.arg, scope))
+            if isinstance(bound_arg, ex.Param) and bound_arg.dtype is None:
+                raise BindError(
+                    f"cannot infer the type of a parameter passed to "
+                    f"{call.name.upper()}(); wrap it in CAST(... AS <type>)"
+                )
             bound_call = ex.AggCall(name=call.name, arg=bound_arg,
                                     distinct=call.distinct)
             bound_call.dtype = ex.aggregate_result_type(
@@ -466,6 +477,11 @@ class Binder:
                 lit = ex.Literal(value=None, dtype=DataType.VARCHAR)
                 return lit
             return ex.Literal(value=expr.value, dtype=literal_type(expr.value))
+        if isinstance(expr, ex.Param):
+            # Fresh copy per bind: the dtype is inferred from *this*
+            # statement's context (comparison peer, BETWEEN/IN operand,
+            # enclosing CAST) and must not leak between compilations.
+            return ex.Param(slot=expr.slot, dtype=expr.dtype)
         if isinstance(expr, ex.BinOp):
             left = self.bind_expr(expr.left, scope)
             right = self.bind_expr(expr.right, scope)
@@ -493,6 +509,13 @@ class Binder:
                     f"{spec.max_args} arguments"
                 )
             args = [self.bind_expr(a, scope) for a in expr.args]
+            for arg in args:
+                if isinstance(arg, ex.Param) and arg.dtype is None:
+                    raise BindError(
+                        f"cannot infer the type of a parameter passed to "
+                        f"{expr.name.upper()}(); wrap it in "
+                        "CAST(... AS <type>)"
+                    )
             node = ex.FuncCall(name=expr.name, args=args)
             node.dtype = spec.result_type([a.dtype for a in args])
             return node
@@ -548,8 +571,12 @@ class Binder:
             node.dtype = result_type
             return node
         if isinstance(expr, ex.Cast):
-            node = ex.Cast(operand=self.bind_expr(expr.operand, scope),
-                           target=expr.target)
+            operand = self.bind_expr(expr.operand, scope)
+            if isinstance(operand, ex.Param) and operand.dtype is None:
+                # CAST(? AS type) is the explicit escape hatch for
+                # placeholders with no inferable context.
+                operand.dtype = expr.target
+            node = ex.Cast(operand=operand, target=expr.target)
             node.dtype = expr.target
             return node
         if isinstance(expr, ex.AggCall):
@@ -693,6 +720,11 @@ def _coerce_to(expr: ex.Expr, target: DataType | None) -> ex.Expr:
     """Implicitly coerce literals (e.g. timestamp strings) to ``target``."""
     if target is None or expr.dtype == target:
         return expr
+    if isinstance(expr, ex.Param) and expr.dtype is None:
+        # Placeholders adopt the type of the operand they stand against
+        # (BETWEEN bounds, IN-list items, comparison peers).
+        expr.dtype = target
+        return expr
     if isinstance(expr, ex.Literal) and expr.value is not None:
         if target == DataType.TIMESTAMP and expr.dtype == DataType.VARCHAR:
             return ex.Literal(value=coerce_literal(expr.value, target),
@@ -707,6 +739,14 @@ def _coerce_to(expr: ex.Expr, target: DataType | None) -> ex.Expr:
 
 
 def _type_binop(op: str, left: ex.Expr, right: ex.Expr) -> ex.BinOp:
+    # Untyped placeholders adopt the peer operand's type before any
+    # type checking below sees them.
+    if isinstance(left, ex.Param) and left.dtype is None \
+            and right.dtype is not None:
+        left.dtype = right.dtype
+    if isinstance(right, ex.Param) and right.dtype is None \
+            and left.dtype is not None:
+        right.dtype = left.dtype
     node = ex.BinOp(op=op, left=left, right=right)
     if op in ("and", "or"):
         _require_boolean(left, op.upper())

@@ -399,7 +399,8 @@ def _plant_lazy_fetch(
     while isinstance(node, LFilter):
         residuals.extend(split_conjuncts(node.predicate))
         node = node.child
-    time_bounds = _extract_time_bounds(residuals, scan, binding)
+    time_bounds, dynamic_bounds = _extract_time_bounds(residuals, scan,
+                                                       binding)
 
     fetch = LLazyFetch(
         meta=meta_plan,
@@ -410,6 +411,7 @@ def _plant_lazy_fetch(
         needed=[c.name for c in scan.output],
         residuals=residuals,
         time_bounds=time_bounds,
+        dynamic_bounds=dynamic_bounds,
         output=meta_plan.output + list(scan.output),
     )
     return fetch, consumed
@@ -421,52 +423,66 @@ def _binding_of(scan: LScan):
     return getattr(scan.table, "lazy_binding", None)
 
 
-def _extract_time_bounds(residuals: list[ex.Expr], scan: LScan, binding
-                         ) -> tuple[Optional[int], Optional[int]]:
-    """Derive [lo, hi] bounds on the binding's range column (sample_time).
+def _extract_time_bounds(
+    residuals: list[ex.Expr], scan: LScan, binding
+) -> tuple[tuple[Optional[int], Optional[int]], list[tuple[str, ex.Expr]]]:
+    """Derive bounds on the binding's range column (sample_time).
 
     These bounds let extraction skip whole records whose metadata span
     falls outside the query's window — metadata identifying the actual
-    data required, per §1.
+    data required, per §1.  Literal bounds tighten the static
+    ``(lo, hi)`` tuple at compile time; parameter-valued bounds are
+    returned as ``(op, expr)`` pairs the lazy-fetch operator resolves
+    per execution, so prepared statements prune exactly like literal
+    queries.
     """
     range_col = binding.range_column
     if range_col is None:
-        return (None, None)
+        return (None, None), []
     range_cid = None
     for col in scan.output:
         if col.name == range_col:
             range_cid = col.cid
             break
     if range_cid is None:
-        return (None, None)
+        return (None, None), []
     lo: Optional[int] = None
     hi: Optional[int] = None
+    dynamic: list[tuple[str, ex.Expr]] = []
 
-    def tighten(op: str, value: int) -> None:
+    def tighten(op: str, bound: ex.Expr) -> None:
         nonlocal lo, hi
+        if isinstance(bound, ex.Param):
+            dynamic.append((op, bound))
+            return
+        value = int(bound.value)  # ex.Literal
         if op in (">", ">="):
             lo = value if lo is None else max(lo, value)
         elif op in ("<", "<="):
             hi = value if hi is None else min(hi, value)
 
+    def is_bound(expr: ex.Expr) -> bool:
+        return (isinstance(expr, ex.Literal) and expr.value is not None) \
+            or isinstance(expr, ex.Param)
+
     for conjunct in residuals:
         if isinstance(conjunct, ex.BinOp) and conjunct.op in ("<", "<=", ">", ">="):
             left, right, op = conjunct.left, conjunct.right, conjunct.op
             if (isinstance(left, ex.BoundRef) and left.cid == range_cid
-                    and isinstance(right, ex.Literal)):
-                tighten(op, int(right.value))
+                    and is_bound(right)):
+                tighten(op, right)
             elif (isinstance(right, ex.BoundRef) and right.cid == range_cid
-                    and isinstance(left, ex.Literal)):
+                    and is_bound(left)):
                 flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
-                tighten(flipped, int(left.value))
+                tighten(flipped, left)
         elif (isinstance(conjunct, ex.Between) and not conjunct.negated
                 and isinstance(conjunct.operand, ex.BoundRef)
                 and conjunct.operand.cid == range_cid
-                and isinstance(conjunct.low, ex.Literal)
-                and isinstance(conjunct.high, ex.Literal)):
-            tighten(">=", int(conjunct.low.value))
-            tighten("<=", int(conjunct.high.value))
-    return (lo, hi)
+                and is_bound(conjunct.low)
+                and is_bound(conjunct.high)):
+            tighten(">=", conjunct.low)
+            tighten("<=", conjunct.high)
+    return (lo, hi), dynamic
 
 
 # ---------------------------------------------------------------------------

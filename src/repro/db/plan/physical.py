@@ -84,12 +84,43 @@ class ExecutionContext:
     file_deps: dict = field(default_factory=dict)
 
 
+DEFAULT_BATCH_ROWS = 4096
+"""Row granularity of streamed execution (cursor fetch path)."""
+
+
+def iter_chunk_slices(chunk: Chunk, batch_rows: int):
+    """Split one materialised chunk into row-sliced batches (views)."""
+    if chunk.length <= batch_rows:
+        if chunk.length:
+            yield chunk
+        return
+    for start in range(0, chunk.length, batch_rows):
+        stop = min(start + batch_rows, chunk.length)
+        yield Chunk(
+            columns={cid: col.slice(start, stop)
+                     for cid, col in chunk.columns.items()},
+            length=stop - start,
+        )
+
+
 class PhysicalNode:
     """Base class for physical operators."""
 
     def __init__(self, schema: list[lg.OutCol]) -> None:
         self.schema = schema
-        self.signature: Optional[str] = None  # set for recyclable nodes
+        # Recyclable nodes carry their *logical* source; the signature is
+        # rendered from it per execution (not baked at build time) so the
+        # table versions and binding cache epochs it embeds are always
+        # current — plans live across many executions in the plan cache.
+        self.signature_source: Optional[lg.LogicalNode] = None
+
+    @property
+    def signature(self) -> Optional[str]:
+        if self.signature_source is None:
+            return None
+        from repro.db.exec.recycler import signature_of
+
+        return signature_of(self.signature_source)
 
     def children(self) -> list["PhysicalNode"]:
         return []
@@ -97,10 +128,25 @@ class PhysicalNode:
     def describe(self) -> str:
         raise NotImplementedError
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        """Yield the operator's output in row batches.
+
+        The default materialises (via :meth:`execute`, so recycler hits
+        and admissions still apply) and slices the result.  Streamable
+        operators — scans, filters, projections, limits — override this
+        to pull row batches through without materialising the whole
+        output first, which lets a cursor consume the head of a large
+        result while the tail has not been produced, and lets LIMIT stop
+        pulling (and thus stop extracting) early.
+        """
+        yield from iter_chunk_slices(self.execute(ctx), batch_rows)
+
     def execute(self, ctx: ExecutionContext) -> Chunk:
         ctx.operators_run += 1
-        if self.signature is not None and ctx.recycler is not None:
-            cached = ctx.recycler.lookup_validated(self.signature)
+        signature = self.signature if ctx.recycler is not None else None
+        if signature is not None:
+            cached = ctx.recycler.lookup_validated(signature)
             if cached is not None:
                 columns, length, depends = cached
                 # Propagate the hit's file dependencies: an enclosing
@@ -109,7 +155,7 @@ class PhysicalNode:
                 ctx.file_deps.update(depends)
                 ctx.trace.append(
                     {"op": "recycler_hit", "node": type(self).__name__,
-                     "signature": self.signature[:60]}
+                     "signature": signature[:60]}
                 )
                 # Cached results are positional; re-key to this plan's cids.
                 return Chunk(
@@ -118,9 +164,9 @@ class PhysicalNode:
                     length=length,
                 )
         chunk = self._run(ctx)
-        if self.signature is not None and ctx.recycler is not None:
+        if signature is not None:
             ctx.recycler.admit(
-                self.signature,
+                signature,
                 [chunk.columns[c.cid] for c in self.schema],
                 chunk.length,
                 depends=dict(ctx.file_deps) if ctx.file_deps else None,
@@ -310,6 +356,32 @@ class PTableScan(PhysicalNode):
                          columns=len(self.schema))
         return Chunk(columns=columns, length=self.table.row_count)
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        # Stream row slices: downstream streamable operators (and the
+        # cursor) see the first rows before the scan's full output ever
+        # exists as one materialised chunk.
+        ctx.operators_run += 1
+        columns = {c.cid: self.table.column(c.name) for c in self.schema}
+        total = self.table.row_count
+        streamed = 0
+        try:
+            for start in range(0, total, batch_rows):
+                stop = min(start + batch_rows, total)
+                yield Chunk(
+                    columns={cid: col.slice(start, stop)
+                             for cid, col in columns.items()},
+                    length=stop - start,
+                )
+                streamed = stop
+        finally:
+            # Recorded on completion (or abandonment, e.g. a satisfied
+            # LIMIT) so the oplog reflects rows actually streamed.
+            ctx.oplog.record(
+                "scan", f"scan {self.qualified_name} (streamed)",
+                rows=streamed, of=total, columns=len(self.schema),
+            )
+
 
 class PDiskScan(PhysicalNode):
     """Scan a disk-backed table, faulting in only the needed columns.
@@ -423,6 +495,17 @@ class PFilter(PhysicalNode):
         )
         return chunk.filter(mask)
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        ctx.operators_run += 1
+        for chunk in self.child.execute_batches(ctx, batch_rows):
+            mask = ex.predicate_mask(
+                self.predicate.eval(chunk.columns, chunk.length)
+            )
+            filtered = chunk.filter(mask)
+            if filtered.length:
+                yield filtered
+
 
 class PProject(PhysicalNode):
     def __init__(self, node: lg.LProject, child: PhysicalNode) -> None:
@@ -443,6 +526,15 @@ class PProject(PhysicalNode):
         for out, expr in zip(self.schema, self.exprs):
             columns[out.cid] = expr.eval(chunk.columns, chunk.length)
         return Chunk(columns=columns, length=chunk.length)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        ctx.operators_run += 1
+        for chunk in self.child.execute_batches(ctx, batch_rows):
+            columns = {}
+            for out, expr in zip(self.schema, self.exprs):
+                columns[out.cid] = expr.eval(chunk.columns, chunk.length)
+            yield Chunk(columns=columns, length=chunk.length)
 
 
 class PSort(PhysicalNode):
@@ -502,6 +594,37 @@ class PLimit(PhysicalNode):
         columns = {cid: col.slice(start, stop)
                    for cid, col in chunk.columns.items()}
         return Chunk(columns=columns, length=max(0, min(stop, chunk.length) - start))
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        # Genuinely lazy LIMIT: stop pulling child batches (and whatever
+        # work upstream would have done to produce them) once satisfied.
+        ctx.operators_run += 1
+        to_skip = self.offset
+        remaining = self.limit  # None = unbounded
+        for chunk in self.child.execute_batches(ctx, batch_rows):
+            if to_skip:
+                if chunk.length <= to_skip:
+                    to_skip -= chunk.length
+                    continue
+                chunk = Chunk(
+                    columns={cid: col.slice(to_skip, chunk.length)
+                             for cid, col in chunk.columns.items()},
+                    length=chunk.length - to_skip,
+                )
+                to_skip = 0
+            if remaining is not None and chunk.length > remaining:
+                chunk = Chunk(
+                    columns={cid: col.slice(0, remaining)
+                             for cid, col in chunk.columns.items()},
+                    length=remaining,
+                )
+            if chunk.length:
+                yield chunk
+            if remaining is not None:
+                remaining -= chunk.length
+                if remaining <= 0:
+                    return
 
 
 class PDistinct(PhysicalNode):
@@ -821,6 +944,27 @@ class PLazyFetch(PhysicalNode):
             "(run-time rewrite point)"
         )
 
+    def _resolve_time_bounds(self) -> tuple[Optional[int], Optional[int]]:
+        """Static bounds tightened by parameter-valued ones.
+
+        Dynamic bounds come from prepared-statement placeholders on the
+        range column; their values are read per execution (the matching
+        predicates also remain in ``residuals``, so pruning here is an
+        optimisation, never a semantic change).
+        """
+        node = self.node
+        lo, hi = node.time_bounds
+        for op, expr in node.dynamic_bounds:
+            value = expr.eval({}, 1).value_at(0)
+            if value is None:
+                continue  # NULL bound prunes nothing; residuals decide
+            value = int(value)
+            if op in (">", ">="):
+                lo = value if lo is None else max(lo, value)
+            else:
+                hi = value if hi is None else min(hi, value)
+        return (lo, hi)
+
     def _run(self, ctx: ExecutionContext) -> Chunk:
         meta_chunk = self.meta.execute(ctx)
         node = self.node
@@ -836,16 +980,17 @@ class PLazyFetch(PhysicalNode):
             name: meta_chunk.columns[cid].values
             for name, cid in zip(key_names, node.meta_key_cids)
         }
+        time_bounds = self._resolve_time_bounds()
         ctx.trace.append({
             "op": "rewrite",
             "table": node.table_name,
             "meta_rows": meta_chunk.length,
             "needed": list(node.needed),
-            "time_bounds": node.time_bounds,
+            "time_bounds": time_bounds,
         })
         started = time.perf_counter()
         trace_start = len(ctx.trace)
-        named = binding.fetch(keys, list(node.needed), node.time_bounds,
+        named = binding.fetch(keys, list(node.needed), time_bounds,
                               ctx.trace)
         elapsed = time.perf_counter() - started
         _collect_file_deps(ctx, trace_start, binding)
@@ -894,10 +1039,12 @@ def build_physical(node: lg.LogicalNode,
 
     When a recycler is supplied, recyclable nodes (aggregates and lazy
     fetches — the expensive materialisation points) get a stable signature
-    so their results can be reused across queries.
+    so their results can be reused across queries.  Signatures are
+    rendered per execution (see :attr:`PhysicalNode.signature`), so
+    fragments containing prepared-statement parameters embed the
+    *currently bound values*: identical re-executions recycle, different
+    bindings can never share an entry.
     """
-    from repro.db.exec.recycler import signature_of
-
     if isinstance(node, lg.LScan):
         if getattr(node.table, "disk_backing", None) is not None:
             return PDiskScan(node)
@@ -920,11 +1067,11 @@ def build_physical(node: lg.LogicalNode,
     if isinstance(node, lg.LAggregate):
         physical = PAggregate(node, build_physical(node.child, recycler))
         if recycler is not None:
-            physical.signature = signature_of(node)
+            physical.signature_source = node
         return physical
     if isinstance(node, lg.LLazyFetch):
         physical = PLazyFetch(node, build_physical(node.meta, recycler))
         if recycler is not None:
-            physical.signature = signature_of(node)
+            physical.signature_source = node
         return physical
     raise ExecutionError(f"no physical operator for {type(node).__name__}")

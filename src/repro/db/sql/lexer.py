@@ -20,6 +20,7 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCT = "punct"
+    PARAM = "param"  # '?' (text == "") or ':name' (text == name)
     EOF = "eof"
 
 
@@ -125,6 +126,21 @@ def tokenize(sql: str) -> list[Token]:
             word = sql[index:pos].lower()
             kind = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
             tokens.append(Token(kind, word, index))
+            index = pos
+            continue
+        if ch == "?":
+            # Positional parameter placeholder (prepared statements).
+            tokens.append(Token(TokenType.PARAM, "", index))
+            index += 1
+            continue
+        if ch == ":":
+            pos = index + 1
+            if pos >= size or not (sql[pos].isalpha() or sql[pos] == "_"):
+                raise LexerError("expected a parameter name after ':'", index)
+            while pos < size and (sql[pos].isalnum() or sql[pos] == "_"):
+                pos += 1
+            tokens.append(Token(TokenType.PARAM, sql[index + 1 : pos].lower(),
+                                index))
             index = pos
             continue
         matched = False

@@ -1,0 +1,216 @@
+"""Prepared-statement parameters: specs, validation, substitution.
+
+Two halves of the parameter story live here:
+
+* **AST level** — :class:`ParamSpec` (what placeholders a statement
+  declares) and :func:`substitute_ast_params` (rewrite ``Param`` nodes
+  into bound literals, the path DML statements take: they are not
+  plan-cached, so value substitution is the simplest correct binding).
+* **Plan level** — :func:`collect_bound_params` (every ``Param``
+  occurrence in a bound logical plan, with its inferred dtype) and
+  :func:`resolve_param_values` (turn the caller's values into the
+  slot->value mapping :meth:`Param.eval` reads, with eager validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional, Sequence
+
+from repro.db import expr as ex
+from repro.db.sql import ast
+from repro.db.types import coerce_literal
+from repro.errors import ParameterError, TypeMismatchError
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """The placeholders one parsed statement declares."""
+
+    style: Optional[str]  # None | 'positional' | 'named'
+    count: int = 0        # positional slots
+    names: tuple[str, ...] = ()
+
+    @property
+    def is_parameterized(self) -> bool:
+        return self.style is not None
+
+
+# ---------------------------------------------------------------------------
+# Value resolution and validation
+# ---------------------------------------------------------------------------
+
+
+def resolve_param_values(
+    spec: ParamSpec,
+    bound_params: Sequence[ex.Param],
+    values: "Sequence | Mapping | None",
+) -> Optional[dict]:
+    """Normalise caller-supplied values into a slot->value mapping.
+
+    Raises :class:`ParameterError` on arity/name mismatches and on
+    values that cannot coerce to a placeholder's inferred type — eagerly,
+    before any operator runs, so a bad bind never half-executes a query.
+    """
+    if not spec.is_parameterized:
+        if values:
+            raise ParameterError(
+                "statement takes no parameters but values were supplied"
+            )
+        return None
+    if spec.style == "positional":
+        if values is None or isinstance(values, (Mapping, str, bytes)):
+            # A bare string would iterate per character — always a bug.
+            raise ParameterError(
+                f"statement expects {spec.count} positional parameter(s); "
+                "pass a sequence of values, e.g. ['NL']"
+            )
+        seq = list(values)
+        if len(seq) != spec.count:
+            raise ParameterError(
+                f"statement expects {spec.count} parameter(s), "
+                f"got {len(seq)}"
+            )
+        mapping: dict = {i: v for i, v in enumerate(seq)}
+    else:
+        if not isinstance(values, Mapping):
+            raise ParameterError(
+                f"statement expects named parameters "
+                f"{sorted(spec.names)}; pass a mapping"
+            )
+        missing = [n for n in spec.names if n not in values]
+        if missing:
+            raise ParameterError(f"missing named parameter(s): {missing}")
+        extra = sorted(set(values) - set(spec.names))
+        if extra:
+            raise ParameterError(f"unknown named parameter(s): {extra}")
+        mapping = dict(values)
+    for param in bound_params:
+        value = mapping[param.slot]
+        try:
+            coerce_literal(value, param.dtype)
+        except (TypeError, ValueError, TypeMismatchError) as exc:
+            raise ParameterError(
+                f"parameter {param.display}: cannot bind "
+                f"{value!r} as {param.dtype}"
+            ) from exc
+    return mapping
+
+
+# ---------------------------------------------------------------------------
+# Expression / AST walking
+# ---------------------------------------------------------------------------
+
+
+def _expr_params(expr: Optional[ex.Expr]) -> Iterator[ex.Param]:
+    if expr is None:
+        return
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ex.Param):
+            yield node
+        stack.extend(node.children())
+
+
+def _substitute_expr(expr: ex.Expr, values: dict) -> ex.Expr:
+    from repro.db.plan.logical import _clone_with_children
+
+    if isinstance(expr, ex.Param):
+        return ex.Literal(value=values[expr.slot])
+    children = [_substitute_expr(c, values) for c in expr.children()]
+    if not children:
+        return expr
+    return _clone_with_children(expr, children)
+
+
+def substitute_ast_params(stmt: ast.Statement, values: dict) -> ast.Statement:
+    """Rewrite a DML statement's Param nodes into unbound literals.
+
+    DML statements are executed once per call (never plan-cached), so
+    substituting the values directly into the expression tree is the
+    simplest correct binding; the binder then types the literals exactly
+    as if the caller had inlined them — but the values arrive as *data*,
+    never re-parsed as SQL text.
+    """
+    if isinstance(stmt, ast.InsertStmt):
+        return ast.InsertStmt(
+            table=stmt.table,
+            columns=stmt.columns,
+            rows=[[_substitute_expr(e, values) for e in row]
+                  for row in stmt.rows],
+        )
+    if isinstance(stmt, ast.DeleteStmt):
+        return ast.DeleteStmt(
+            table=stmt.table,
+            where=None if stmt.where is None
+            else _substitute_expr(stmt.where, values),
+        )
+    if isinstance(stmt, ast.UpdateStmt):
+        return ast.UpdateStmt(
+            table=stmt.table,
+            assignments=[(name, _substitute_expr(e, values))
+                         for name, e in stmt.assignments],
+            where=None if stmt.where is None
+            else _substitute_expr(stmt.where, values),
+        )
+    raise ParameterError(
+        f"parameters are not supported in "
+        f"{type(stmt).__name__.removesuffix('Stmt')} statements"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Logical-plan walking
+# ---------------------------------------------------------------------------
+
+
+def _node_exprs(node) -> Iterator[ex.Expr]:
+    """Every expression attached to one logical node (not its children)."""
+    from repro.db.plan import logical as lg
+
+    if isinstance(node, lg.LFilter):
+        yield node.predicate
+    elif isinstance(node, lg.LProject):
+        yield from node.exprs
+    elif isinstance(node, lg.LJoin):
+        if node.residual is not None:
+            yield node.residual
+    elif isinstance(node, lg.LAggregate):
+        yield from node.group_exprs
+        for agg in node.aggregates:
+            if agg.arg is not None:
+                yield agg.arg
+    elif isinstance(node, lg.LSort):
+        for key, _asc in node.keys:
+            yield key
+    elif isinstance(node, lg.LLazyFetch):
+        yield from node.residuals
+
+
+def _plan_nodes(node) -> Iterator:
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(current.children())  # LLazyFetch.children() is [meta]
+
+
+def collect_bound_params(plan) -> list[ex.Param]:
+    """All Param occurrences in a bound plan, validated to carry a dtype.
+
+    An occurrence whose type the binder could not infer (e.g. ``SELECT ?``
+    with no context) is a compile-time error with a CAST hint — better
+    than an opaque failure mid-execution.
+    """
+    params: list[ex.Param] = []
+    for plan_node in _plan_nodes(plan):
+        for expr in _node_exprs(plan_node):
+            params.extend(_expr_params(expr))
+    for param in params:
+        if param.dtype is None:
+            raise ParameterError(
+                f"cannot infer the type of parameter {param.display}; "
+                "wrap it in CAST(... AS <type>)"
+            )
+    return params

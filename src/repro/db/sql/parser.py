@@ -34,6 +34,7 @@ from repro.db.expr import (
     IsNull,
     Like,
     Literal,
+    Param,
     Star,
     UnOp,
     AGGREGATE_NAMES,
@@ -49,6 +50,12 @@ class _Parser:
         self.sql = sql
         self.tokens = tokenize(sql)
         self.index = 0
+        # Prepared-statement placeholders found while parsing: positional
+        # '?' slots are numbered left to right; ':name' slots are named.
+        # One statement must not mix the two styles.
+        self.param_style: Optional[str] = None  # 'positional' | 'named'
+        self.positional_params = 0
+        self.named_params: list[str] = []
 
     # -- token helpers -------------------------------------------------------
 
@@ -510,8 +517,29 @@ class _Parser:
             return self.unary()
         return self.primary()
 
+    def param_expr(self) -> Expr:
+        token = self.advance()
+        style = "positional" if token.text == "" else "named"
+        if self.param_style is None:
+            self.param_style = style
+        elif self.param_style != style:
+            raise ParseError(
+                "cannot mix positional (?) and named (:name) parameters "
+                "in one statement", token.position,
+            )
+        if style == "positional":
+            slot: "int | str" = self.positional_params
+            self.positional_params += 1
+        else:
+            slot = token.text
+            if token.text not in self.named_params:
+                self.named_params.append(token.text)
+        return Param(slot=slot)
+
     def primary(self) -> Expr:
         token = self.current
+        if token.type == TokenType.PARAM:
+            return self.param_expr()
         if token.type == TokenType.NUMBER:
             self.advance()
             text = token.text
@@ -603,6 +631,21 @@ class _Parser:
 def parse_statement(sql: str) -> ast.Statement:
     """Parse one SQL statement (an optional trailing ``;`` is allowed)."""
     return _Parser(sql).parse_single()
+
+
+def parse_prepared(sql: str):
+    """Parse one statement and return it with its parameter spec
+    (``(statement, ParamSpec)``)."""
+    from repro.db.sql.parameters import ParamSpec
+
+    parser = _Parser(sql)
+    stmt = parser.parse_single()
+    spec = ParamSpec(
+        style=parser.param_style,
+        count=parser.positional_params,
+        names=tuple(parser.named_params),
+    )
+    return stmt, spec
 
 
 def parse_select(sql: str) -> ast.SelectStmt:

@@ -96,6 +96,11 @@ class TypeMismatchError(BindError):
     """Two expressions with incompatible types were combined."""
 
 
+class ParameterError(BindError):
+    """Prepared-statement parameter binding failed (missing/extra values,
+    uninferable placeholder type, or a value that cannot coerce)."""
+
+
 # ---------------------------------------------------------------------------
 # Persistent storage errors
 # ---------------------------------------------------------------------------

@@ -11,7 +11,9 @@ implements the STA/LTA event hunting the demo scenario describes;
 from repro.seismology.warehouse import SeismicWarehouse
 from repro.seismology.queries import (
     fig1_query1,
+    fig1_query1_template,
     fig1_query2,
+    fig1_query2_template,
     analytical_suite,
     QuerySpec,
 )
@@ -26,7 +28,9 @@ from repro.seismology import browse
 __all__ = [
     "SeismicWarehouse",
     "fig1_query1",
+    "fig1_query1_template",
     "fig1_query2",
+    "fig1_query2_template",
     "analytical_suite",
     "QuerySpec",
     "sta_lta_ratio",

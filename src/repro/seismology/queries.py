@@ -60,6 +60,38 @@ AND F.channel = '{channel}'
 GROUP BY F.station"""
 
 
+def fig1_query1_template(*, view: str = "mseed.dataview") -> str:
+    """Figure 1 Q1 as a prepared statement (named parameters).
+
+    Bind ``{"station": ..., "channel": ..., "day_start": ...,
+    "day_end": ..., "window_start": ..., "window_end": ...}`` —
+    timestamp parameters accept ISO-8601 strings, exactly like the
+    literals in :func:`fig1_query1`.
+    """
+    return f"""SELECT AVG(D.sample_value)
+FROM {view}
+WHERE F.station = :station
+AND F.channel = :channel
+AND R.start_time > :day_start
+AND R.start_time < :day_end
+AND D.sample_time > :window_start
+AND D.sample_time < :window_end"""
+
+
+def fig1_query2_template(*, view: str = "mseed.dataview") -> str:
+    """Figure 1 Q2 as a prepared statement (named parameters).
+
+    Bind ``{"network": ..., "channel": ...}``; one plan-cached compile
+    serves every network/channel combination.
+    """
+    return f"""SELECT F.station,
+MIN(D.sample_value), MAX(D.sample_value)
+FROM {view}
+WHERE F.network = :network
+AND F.channel = :channel
+GROUP BY F.station"""
+
+
 def analytical_suite(
     *,
     view: str = "mseed.dataview",

@@ -163,8 +163,34 @@ class SeismicWarehouse:
     def dataview(self) -> str:
         return f"{self.schema}.dataview"
 
-    def query(self, sql: str) -> Result:
-        return self.db.query(sql)
+    def connect(self):
+        """Open a :class:`~repro.api.connection.Connection` — the unified
+        query entry point.
+
+        Cursors opened on it stream results in row batches, statements
+        accept ``?``/``:name`` parameters, and compiled plans are cached
+        across executions::
+
+            conn = wh.connect()
+            cur = conn.cursor()
+            cur.execute("SELECT F.station, MIN(D.sample_value) "
+                        "FROM mseed.dataview WHERE F.network = :net "
+                        "GROUP BY F.station", {"net": "NL"})
+            for row in cur:
+                ...
+            print(cur.report.plan_cache_hit, cur.report.execute_s)
+        """
+        from repro.api import Connection
+
+        return Connection(self.db)
+
+    def query(self, sql: str, params=None) -> Result:
+        """Run a SELECT, fully materialised.
+
+        .. deprecated:: thin wrapper over the unified API — prefer
+           ``connect()`` and a cursor, which streams and reports.
+        """
+        return self.db.query(sql, params)
 
     def serve(self, **config):
         """Open a concurrent query service over this warehouse.
@@ -184,8 +210,13 @@ class SeismicWarehouse:
 
         return WarehouseService(self, **config)
 
-    def execute(self, sql: str) -> Result:
-        return self.db.execute(sql)
+    def execute(self, sql: str, params=None) -> Result:
+        """Run any statement, fully materialised.
+
+        .. deprecated:: thin wrapper over the unified API — prefer
+           ``connect()`` and a cursor.
+        """
+        return self.db.execute(sql, params)
 
     def explain(self, sql: str) -> str:
         return self.db.explain(sql)

@@ -112,34 +112,72 @@ class ServiceStats:
 
 
 class _QueuedQuery:
-    __slots__ = ("session_id", "sql", "future", "submitted_at", "submit_seq")
+    __slots__ = ("session_id", "sql", "params", "future", "submitted_at",
+                 "submit_seq")
 
     def __init__(self, session_id: str, sql: str, future: Future,
-                 submit_seq: int) -> None:
+                 submit_seq: int, params: object = None) -> None:
         self.session_id = session_id
         self.sql = sql
+        self.params = params
         self.future = future
         self.submitted_at = time.perf_counter()
         self.submit_seq = submit_seq
 
 
 class ClientSession:
-    """One client's handle on the service (its fairness unit)."""
+    """One client's handle on the service (its fairness unit).
+
+    Exposes the unified cursor protocol: :meth:`cursor` returns the same
+    :class:`~repro.api.cursor.Cursor` a direct
+    :class:`~repro.api.connection.Connection` hands out, with a private
+    :class:`~repro.db.exec.engine.QueryReport` per execution — the
+    ``query_with_report`` tuple juggling is not needed here.
+    """
 
     def __init__(self, service: "WarehouseService", session_id: str) -> None:
         self.service = service
         self.session_id = session_id
         self.outcomes: list[QueryOutcome] = []
 
-    def submit(self, sql: str) -> "Future[QueryOutcome]":
+    def submit(self, sql: str, params: object = None
+               ) -> "Future[QueryOutcome]":
         """Enqueue a query; the future resolves to a :class:`QueryOutcome`."""
-        return self.service.submit(self.session_id, sql)
+        return self.service.submit(self.session_id, sql, params)
 
-    def query(self, sql: str) -> QueryOutcome:
+    def query(self, sql: str, params: object = None) -> QueryOutcome:
         """Submit and block for the outcome (recorded on the session)."""
-        outcome = self.submit(sql).result()
+        outcome = self.submit(sql, params).result()
         self.outcomes.append(outcome)
         return outcome
+
+    def cursor(self):
+        """A :class:`~repro.api.cursor.Cursor` executing via the service.
+
+        Queries run remotely on the worker pool (admission-controlled and
+        coalesced like any submitted query) and are fetched locally
+        through the standard cursor surface; ``cursor.report`` is the
+        per-query :class:`QueryReport`.  The service's scope applies:
+        SELECT only — DDL/DML raise :class:`ServiceError` here and belong
+        on a direct connection before :meth:`WarehouseService.start` or
+        after :meth:`WarehouseService.close`.
+        """
+        from repro.api.cursor import Cursor
+
+        return Cursor(self._run_for_cursor)
+
+    def _run_for_cursor(self, sql: str, params: object, _batch_rows: int):
+        from repro.db.exec.engine import CompletedQuery
+        from repro.db.sql import ast
+        from repro.db.sql.parser import parse_statement
+
+        if not isinstance(parse_statement(sql), ast.SelectStmt):
+            raise ServiceError(
+                "service sessions serve queries only (SELECT); run "
+                "DDL/DML on a direct connection outside the service"
+            )
+        outcome = self.query(sql, params)
+        return CompletedQuery(outcome.result, outcome.report, outcome.trace)
 
 
 class WarehouseService:
@@ -247,18 +285,20 @@ class WarehouseService:
                 self._sessions[session_id] = session
             return session
 
-    def submit(self, session_id: str, sql: str) -> "Future[QueryOutcome]":
+    def submit(self, session_id: str, sql: str, params: object = None
+               ) -> "Future[QueryOutcome]":
         if self._closed:
             raise ServiceClosedError("service is shut down")
         future: "Future[QueryOutcome]" = Future()
         item = _QueuedQuery(session_id, sql, future,
-                            next(self._submit_counter))
+                            next(self._submit_counter), params)
         self.admission.submit(session_id, item)
         return future
 
-    def query(self, sql: str, *, session: Optional[str] = None) -> QueryOutcome:
+    def query(self, sql: str, *, session: Optional[str] = None,
+              params: object = None) -> QueryOutcome:
         """One-shot convenience: submit on a (named) session and wait."""
-        return self.session(session).query(sql)
+        return self.session(session).query(sql, params)
 
     # -- workers ---------------------------------------------------------------------
 
@@ -276,7 +316,8 @@ class WarehouseService:
             with self._in_flight:
                 started = time.perf_counter()
                 try:
-                    result, report, trace = db.query_with_report(item.sql)
+                    result, report, trace = db.query_with_report(
+                        item.sql, item.params)
                 except BaseException as exc:
                     with self._stats_lock:
                         self._failed += 1
