@@ -82,17 +82,23 @@ class Cursor:
     def executemany(self, operation: str, seq_of_params) -> "Cursor":
         """Run one parameterised statement per value set (DML batching).
 
-        ``rowcount`` afterwards is the total across the batch.
+        ``rowcount`` afterwards is the total across the batch — or ``-1``
+        (unknown) as soon as *any* constituent run reports ``-1``, per
+        DB-API semantics: a partial sum would silently under-report the
+        batch total.
         """
         total = 0
-        counted = False
+        indeterminate = False
+        ran = False
         for params in seq_of_params:
             self.execute(operation, params)
-            if self._run.rowcount >= 0:
+            ran = True
+            if self._run.rowcount < 0:
+                indeterminate = True
+            else:
                 total += self._run.rowcount
-                counted = True
-        if counted:
-            self._rowcount_override = total
+        if ran:
+            self._rowcount_override = -1 if indeterminate else total
         return self
 
     # -- metadata -----------------------------------------------------------

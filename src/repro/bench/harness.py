@@ -746,6 +746,178 @@ def run_e12(*, smoke: bool = False) -> ExperimentTable:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E13 — adaptive lazy→eager promotion under a skewed workload
+# ---------------------------------------------------------------------------
+
+
+def run_e13(*, smoke: bool = False, rounds: int | None = None
+            ) -> ExperimentTable:
+    """Adaptive promotion trajectory: skewed workload, lazy vs adaptive.
+
+    Both warehouses get an extraction cache deliberately smaller than the
+    hot set (the working-set-larger-than-memory regime where pure lazy
+    re-extracts every repeat) and run the same skewed workload: a small
+    hot set of streams queried repeatedly plus a rotating cold query per
+    round.  The adaptive side additionally owns storage and runs one
+    promotion cycle per round — the heat tracker notices the hot units
+    and the promoter materializes them into promoted segments, so the
+    steady-state hot queries become disk-page reads instead of
+    re-extraction.  The plan-level recycler is disabled on *both* sides:
+    it would hide the extraction path this experiment isolates.
+
+    Acceptance (ISSUE 5): steady-state hot-set speedup >= 2x over pure
+    lazy; cold start (first query, nothing promoted yet) within 1.2x of
+    pure lazy; promotion state survives checkpoint() -> warm start with
+    zero re-extraction of promoted ranges.
+    """
+    import shutil
+    import tempfile
+
+    root, manifest = shared_demo_repo()
+    streams = sorted({(e.station, e.channel) for e in manifest.entries})
+    hot_streams = streams[:2]
+    cold_streams = streams[2:4] if smoke else streams[2:]
+    hot_sqls = [full_stream_query(st, ch) for st, ch in hot_streams]
+    cold_sqls = [full_stream_query(st, ch) for st, ch in cold_streams]
+    tiny_budget = 64 * 1024  # << the hot set's extracted footprint
+    n_rounds = rounds if rounds is not None else (3 if smoke else 5)
+
+    # One throwaway pass so the OS file cache is warm before any
+    # measurement — both sides then see identical I/O conditions.
+    prewarm = SeismicWarehouse(root, mode="lazy",
+                               cache_budget_bytes=tiny_budget,
+                               enable_recycler=False)
+    for sql in hot_sqls:
+        prewarm.query(sql)
+
+    store_path = tempfile.mkdtemp(prefix="repro-e13-")
+    try:
+        lazy = SeismicWarehouse(root, mode="lazy",
+                                cache_budget_bytes=tiny_budget,
+                                enable_recycler=False)
+        adaptive = SeismicWarehouse(root, mode="lazy",
+                                    cache_budget_bytes=tiny_budget,
+                                    enable_recycler=False,
+                                    storage_path=store_path)
+
+        table = ExperimentTable(
+            "E13",
+            "adaptive lazy→eager promotion: skewed-workload trajectory",
+            ["phase", "lazy hot-set", "adaptive hot-set",
+             "adaptive eager rows", "promoted units", "promoted bytes"],
+        )
+
+        # Cold start: first queries, nothing promoted yet — the adaptive
+        # side must not tax the lazy grade it inherits.  Both sides do
+        # the same fresh extraction and differ only by heat-tracker
+        # bookkeeping, so the gate is timing-noise-dominated: take the
+        # min over the hot streams on the trajectory warehouses PLUS a
+        # second disposable pair, interleaved so a scheduler hiccup on a
+        # shared CI runner cannot land on one side's every sample.
+        lazy_samples = [_timed(lambda s=sql: lazy.query(s))[0]
+                        for sql in hot_sqls]
+        adaptive_samples = [_timed(lambda s=sql: adaptive.query(s))[0]
+                            for sql in hot_sqls]
+        spare_store = tempfile.mkdtemp(prefix="repro-e13-spare-")
+        try:
+            lazy2 = SeismicWarehouse(root, mode="lazy",
+                                     cache_budget_bytes=tiny_budget,
+                                     enable_recycler=False)
+            adaptive2 = SeismicWarehouse(root, mode="lazy",
+                                         cache_budget_bytes=tiny_budget,
+                                         enable_recycler=False,
+                                         storage_path=spare_store)
+            for sql in hot_sqls:
+                lazy_samples.append(_timed(lambda s=sql: lazy2.query(s))[0])
+                adaptive_samples.append(
+                    _timed(lambda s=sql: adaptive2.query(s))[0])
+        finally:
+            shutil.rmtree(spare_store, ignore_errors=True)
+        lazy_cold_s = min(lazy_samples)
+        adaptive_cold_s = min(adaptive_samples)
+        table.add_row(
+            "cold start (first query)", format_duration(lazy_cold_s),
+            format_duration(adaptive_cold_s),
+            adaptive.db.last_report.rows_served_eager, 0, "0 B",
+        )
+
+        def hot_pass(wh: SeismicWarehouse) -> tuple[float, int]:
+            total, eager = 0.0, 0
+            for sql in hot_sqls * 2:   # each hot stream hit twice a round
+                q_s, _ = _timed(lambda s=sql: wh.query(s))
+                total += q_s
+                eager += wh.db.last_report.rows_served_eager
+            return total / (2 * len(hot_sqls)), eager
+
+        lazy_steady = adaptive_steady = 0.0
+        for rnd in range(1, n_rounds + 1):
+            lazy_hot_s, _ = hot_pass(lazy)
+            adaptive_hot_s, eager_rows = hot_pass(adaptive)
+            # The skew: one cold stream per round, then promote.
+            cold_sql = cold_sqls[(rnd - 1) % len(cold_sqls)]
+            lazy.query(cold_sql)
+            adaptive.query(cold_sql)
+            promo = adaptive.promote(budget_bytes=64 * 1024 * 1024,
+                                     min_score=1.5)
+            table.add_row(
+                f"round {rnd} (hot x2 + 1 cold, then promote)",
+                format_duration(lazy_hot_s), format_duration(adaptive_hot_s),
+                eager_rows, promo.live_units, format_bytes(promo.disk_bytes),
+            )
+            lazy_steady, adaptive_steady = lazy_hot_s, adaptive_hot_s
+
+        # Restart durability: promoted ranges answer with zero
+        # re-extraction in a fresh process.
+        adaptive.checkpoint()
+        warm_s, warm = _timed(lambda: SeismicWarehouse(
+            root, mode="lazy", cache_budget_bytes=tiny_budget,
+            enable_recycler=False, storage_path=store_path))
+        warm_q_s, _ = _timed(lambda: warm.query(hot_sqls[0]))
+        warm_report = warm.db.last_report
+        table.add_row(
+            "warm start (new process, hot query)", "-",
+            format_duration(warm_q_s), warm_report.rows_served_eager,
+            len(warm.promoted), format_bytes(warm.promoted.disk_bytes()),
+        )
+
+        speedup = lazy_steady / max(adaptive_steady, 1e-9)
+        cold_ratio = adaptive_cold_s / max(lazy_cold_s, 1e-9)
+        table.add_note(
+            f"steady-state hot-set speedup: {speedup:.1f}x vs pure lazy "
+            "(acceptance: >= 2x) — promoted units serve from disk pages "
+            "through the buffer pool instead of re-extracting."
+        )
+        table.add_note(
+            f"cold-start ratio (adaptive/lazy first query): "
+            f"{cold_ratio:.2f}x (acceptance: <= 1.2x) — heat tracking "
+            "costs noise; nothing is promoted until the workload proves "
+            "hot."
+        )
+        table.add_note(
+            f"warm start re-extracted {warm_report.rows_extracted_here} "
+            f"rows and served {warm_report.rows_served_eager} rows from "
+            "promoted segments (acceptance: zero re-extraction of "
+            "promoted ranges)."
+        )
+        table.add_note(
+            "recycler disabled on both sides; extraction cache budget "
+            f"{format_bytes(tiny_budget)} — far below the hot set, so "
+            "pure lazy re-extracts every repeat (E7's eager-wins regime, "
+            "now closed adaptively at runtime)."
+        )
+        # Machine-checkable acceptance values (BENCH_E13.json):
+        table.add_row(
+            "acceptance: speedup / cold ratio / warm re-extraction",
+            f"{speedup:.2f}", f"{cold_ratio:.3f}",
+            warm_report.rows_served_eager,
+            warm_report.rows_extracted_here, "-",
+        )
+        return table
+    finally:
+        shutil.rmtree(store_path, ignore_errors=True)
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E1": run_e1,
     "E2": run_e2,
@@ -759,6 +931,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E10": run_e10,
     "E11": run_e11,
     "E12": run_e12,
+    "E13": run_e13,
 }
 
 # Reduced-parameter variants for CI smoke runs; experiments not listed
@@ -769,4 +942,5 @@ SMOKE_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E5": lambda: run_e5(queries=8, policies=("lru",)),
     "E6": lambda: run_e6(modified_files=2),
     "E12": lambda: run_e12(smoke=True),
+    "E13": lambda: run_e13(smoke=True),
 }

@@ -89,6 +89,11 @@ class QueryReport:
     # extraction (single-flight coalescing).
     rows_extracted_here: int = 0
     rows_coalesced: int = 0
+    # Adaptive promotion: rows served from eagerly materialized
+    # (promoted) segments instead of extraction, and how many promoted
+    # units this query read.
+    rows_served_eager: int = 0
+    promotions: int = 0
 
     @property
     def plan_s(self) -> float:
@@ -132,6 +137,25 @@ class _CachedStatement:
     # Non-SELECT statements resolve table names at execution time, so
     # DML never invalidates them; present for uniform cache handling.
     tables: frozenset = frozenset()
+
+
+def _fold_trace_counters(report: QueryReport, trace: list[dict]) -> None:
+    """Accumulate per-operator trace entries into the query report.
+
+    Shared by the materialised and streaming execution paths so the
+    extraction/coalescing/promotion counters can never drift apart.
+    """
+    for entry in trace:
+        op = entry.get("op")
+        if op == "extract":
+            report.rows_extracted_here += entry.get("rows", 0)
+        elif op == "extract_wait":
+            report.rows_coalesced += entry.get("rows", 0)
+        elif op == "promoted_fetch":
+            report.rows_served_eager += entry.get("rows", 0)
+            report.promotions += entry.get("records", 0)
+            # Promoted reads are disk-backed page I/O like PDiskScan's.
+            report.pages_read += entry.get("pages_read", 0)
 
 
 def _plan_tables(node: LogicalNode) -> set[str]:
@@ -257,11 +281,7 @@ class StreamingQuery:
         report.operators_run = ctx.operators_run
         report.pages_read = ctx.pages_read
         report.pages_skipped = ctx.pages_skipped
-        for entry in ctx.trace:
-            if entry.get("op") == "extract":
-                report.rows_extracted_here += entry.get("rows", 0)
-            elif entry.get("op") == "extract_wait":
-                report.rows_coalesced += entry.get("rows", 0)
+        _fold_trace_counters(report, ctx.trace)
         self.rowcount = report.rows_out
         self.db.last_trace = ctx.trace
         self.db.last_report = report
@@ -490,11 +510,7 @@ class Database:
         report.operators_run = ctx.operators_run
         report.pages_read = ctx.pages_read
         report.pages_skipped = ctx.pages_skipped
-        for entry_ in ctx.trace:
-            if entry_.get("op") == "extract":
-                report.rows_extracted_here += entry_.get("rows", 0)
-            elif entry_.get("op") == "extract_wait":
-                report.rows_coalesced += entry_.get("rows", 0)
+        _fold_trace_counters(report, ctx.trace)
         self.last_trace = ctx.trace
         self.last_report = report
         self.oplog.record(

@@ -937,10 +937,15 @@ class PLazyFetch(PhysicalNode):
         if lo is not None or hi is not None:
             bounds = f" time_bounds=[{lo}, {hi}]"
         res = f" residuals={len(self.node.residuals)}" if self.node.residuals else ""
+        # Promotion state is live (rendered per EXPLAIN, not baked at
+        # compile time): how many units would be served eagerly today.
+        promoted = getattr(self.node.binding, "promoted", None)
+        hot = (f" promoted_units={len(promoted)}"
+               if promoted is not None and len(promoted) else "")
         return (
             f"LazyFetch {self.node.table_name} "
             f"keys={list(self.node.binding.key_columns)} "
-            f"cols={self.node.needed}{bounds}{res} "
+            f"cols={self.node.needed}{bounds}{res}{hot} "
             "(run-time rewrite point)"
         )
 

@@ -22,6 +22,7 @@ from repro.etl.metadata import (
     harvest_repository,
 )
 from repro.etl.cache import ExtractionCache, CacheStats
+from repro.etl.heat import AccessHeatTracker, HeatUnit
 from repro.etl.mseed_adapter import MSeedAdapter
 from repro.etl.csv_adapter import CsvDirAdapter
 from repro.etl.lazy import LazyETL, LazyDataBinding
@@ -39,6 +40,8 @@ __all__ = [
     "harvest_repository",
     "ExtractionCache",
     "CacheStats",
+    "AccessHeatTracker",
+    "HeatUnit",
     "MSeedAdapter",
     "CsvDirAdapter",
     "LazyETL",

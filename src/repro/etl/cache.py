@@ -380,14 +380,25 @@ class ExtractionCache:
             self.stats.restored += restored
         return restored
 
-    def spill(self, store) -> int:
+    def spill(self, store, *, skip=None) -> int:
         """Persist the cache into a table store's snapshot area.
 
         ``store`` is a :class:`~repro.storage.store.TableStore` or a
-        directory path.  Returns the number of entries written.
+        directory path.  ``skip`` is an optional predicate
+        ``(uri, seq_no, mtime_ns, columns) -> bool``; entries it accepts
+        are left out of the snapshot (the lazy warehouse skips entries
+        already covered by a promoted segment — persisting the hot set
+        twice would only cost checkpoint time and dead cache budget on
+        restore).  Returns the number of entries written.
         """
         store = _as_store(store)
-        return store.save_cache_snapshot(self.export_entries())
+        entries = self.export_entries()
+        if skip is not None:
+            entries = [
+                entry for entry in entries
+                if not skip(entry[0], entry[1], entry[2], entry[4])
+            ]
+        return store.save_cache_snapshot(entries)
 
     def restore(self, store) -> int:
         """Warm-start from a snapshot written by :meth:`spill`."""

@@ -36,6 +36,7 @@ from repro.db.table import TableSchema, ForeignKeySpec
 from repro.errors import ExtractionError
 from repro.etl.cache import ExtractionCache
 from repro.etl.framework import ETLReport, SourceAdapter
+from repro.etl.heat import AccessHeatTracker
 from repro.etl.metadata import (
     Granularity,
     HarvestResult,
@@ -77,13 +78,19 @@ class LazyDataBinding:
     def __init__(self, repo: Repository, adapter: SourceAdapter,
                  index: RecordIndex, cache: ExtractionCache,
                  oplog: OperationLog,
-                 metadata_refresh=None) -> None:
+                 metadata_refresh=None, heat=None) -> None:
         self.repo = repo
         self.adapter = adapter
         self.index = index
         self.cache = cache
         self.oplog = oplog
         self.metadata_refresh = metadata_refresh
+        # Adaptive promotion hooks: an AccessHeatTracker observing every
+        # served unit, and (when storage is attached) the PromotedStore
+        # consulted before the extraction cache.  Both optional; None
+        # keeps the classic pure-lazy behaviour.
+        self.heat = heat
+        self.promoted = None
         self._data_specs = {spec.name: spec for spec in adapter.data_columns()}
         # When a query needs no data column at all (e.g. COUNT(*)), one is
         # still extracted so row multiplicity is exact at any granularity.
@@ -193,16 +200,17 @@ class LazyDataBinding:
         # sessions never race the drop-and-refresh sequence.
         with self.cache.file_lock(uri):
             info = self.repo.stat(uri)
-            if not self.cache.validate_file(uri, info.mtime_ns):
+            stale = not self.cache.validate_file(uri, info.mtime_ns)
+            if not stale and self.promoted is not None:
+                # A fully-promoted file may have no cache entries (its
+                # spill is skipped), so the promoted store carries the
+                # staleness sentinel that survives restarts.
+                stale = self.promoted.file_is_stale(uri, info.mtime_ns)
+            if stale:
                 trace.append({"op": "refresh", "file": uri,
                               "reason": "mtime newer than cache admission"})
-                self.oplog.record("cache", f"stale entries dropped for {uri}")
+                self.handle_stale_file(uri)
                 if self.metadata_refresh is not None:
-                    # The file may have a different record layout now:
-                    # refresh its metadata and keep only records that still
-                    # exist.  Metadata-table DML is globally serialised.
-                    with self._refresh_lock:
-                        self.metadata_refresh(uri)
                     live = {span.seq_no for span in self.index.spans(uri)}
                     dropped = [s for s in kept if s not in live]
                     if dropped:
@@ -219,21 +227,46 @@ class LazyDataBinding:
         if not kept:
             return []
 
-        # (3) cache fetch or extraction.
+        # (3) promoted fetch, cache fetch, or extraction — cheapest first:
+        # eagerly materialized segments (disk pages through the buffer
+        # pool), then the in-memory extraction cache, then the source file.
+        eager_hits: list[tuple[int, dict[str, np.ndarray]]] = []
         hits: list[tuple[int, dict[str, np.ndarray]]] = []
         missing: list[int] = []
+        eager_pages = 0
+        # Per-file short-circuit: probing the promoted store per record
+        # is pointless (and pays a lock each) for files with no units.
+        promoted = self.promoted
+        if promoted is not None and not promoted.file_has_units(uri):
+            promoted = None
         for seq in kept:
+            if promoted is not None:
+                served = promoted.fetch(uri, seq, data_cols,
+                                        info.mtime_ns)
+                if served is not None:
+                    columns, pages = served
+                    eager_hits.append((seq, columns))
+                    eager_pages += pages
+                    continue
             cached = self.cache.get(uri, seq, data_cols)
             if cached is None:
                 missing.append(seq)
             else:
                 hits.append((seq, cached))
+        if eager_hits:
+            trace.append({"op": "promoted_fetch", "file": uri,
+                          "records": len(eager_hits),
+                          "rows": sum(_rows_of(c) for _s, c in eager_hits),
+                          "pages_read": eager_pages,
+                          "mtime_ns": info.mtime_ns})
         if hits:
             trace.append({"op": "cache_fetch", "file": uri,
                           "records": len(hits),
                           "mtime_ns": info.mtime_ns})
-        pieces = [(uri, seq, cols, _rows_of(cols)) for seq, cols in hits]
+        pieces = [(uri, seq, cols, _rows_of(cols))
+                  for seq, cols in eager_hits + hits]
 
+        extracted_from = len(pieces)
         if missing:
             try:
                 pieces.extend(self._extract_missing(
@@ -249,8 +282,67 @@ class LazyDataBinding:
                     info = self.repo.stat(uri)
                     pieces.extend(self._extract_missing(
                         uri, remaining, data_cols, info.mtime_ns, trace))
+        self._record_heat(uri, data_cols, eager_hits, hits,
+                          pieces[extracted_from:])
         pieces.sort(key=lambda piece: piece[1])
         return pieces
+
+    def handle_stale_file(self, uri: str) -> None:
+        """React to an observed file rewrite (shared by the query path
+        and the background promoter).
+
+        ``ExtractionCache.validate_file`` is a *consuming* check — it
+        drops the file's entries and forgets its admission mtime, so
+        only the caller that saw it return ``False`` knows the file
+        changed.  Whoever consumes the signal must run the full
+        reaction: drop promoted segments and heat (both carry per-record
+        state of the *old* layout) and re-harvest the file's metadata.
+        Callers hold the file's stripe lock; metadata-table DML is
+        additionally globally serialised through the refresh lock.
+        """
+        self.oplog.record("cache", f"stale entries dropped for {uri}")
+        if self.promoted is not None:
+            self.promoted.invalidate_file(uri)
+        if self.heat is not None:
+            self.heat.forget_file(uri)
+        if self.metadata_refresh is not None:
+            with self._refresh_lock:
+                self.metadata_refresh(uri)
+
+    def _record_heat(self, uri: str, data_cols: list[str],
+                     eager_hits: list, hits: list,
+                     extracted: list) -> None:
+        """Feed the heat tracker with how each unit was served.
+
+        ``extracted`` carries the freshly extracted pieces (not just seq
+        numbers) so extraction touches record payload-size estimates too
+        — the promoter's budget-aware selection depends on them even for
+        units the cache never managed to retain.
+        """
+        heat = self.heat
+        if heat is None:
+            return
+        if eager_hits:
+            heat.touch_units(
+                uri, [seq for seq, _c in eager_hits], data_cols,
+                kind="eager_hit",
+                nbytes=sum(arr.nbytes for _s, cols in eager_hits
+                           for arr in cols.values()),
+            )
+        if hits:
+            heat.touch_units(
+                uri, [seq for seq, _c in hits], data_cols,
+                kind="cache_hit",
+                nbytes=sum(arr.nbytes for _s, cols in hits
+                           for arr in cols.values()),
+            )
+        if extracted:
+            heat.touch_units(
+                uri, [seq for _u, seq, _c, _r in extracted], data_cols,
+                kind="extract",
+                nbytes=sum(arr.nbytes for _u, _s, cols, _r in extracted
+                           for arr in cols.values()),
+            )
 
     def _only_live_records(self, uri: str, seq_nos: list[int],
                            trace: list[dict]) -> list[int]:
@@ -449,6 +541,7 @@ class LazyETL:
         self.granularity = granularity
         self.cache = ExtractionCache(cache_budget_bytes, cache_policy)
         self.index = RecordIndex()
+        self.heat = AccessHeatTracker()
         self.binding: Optional[LazyDataBinding] = None
 
     @property
@@ -520,9 +613,11 @@ class LazyETL:
         self.db.attach(store)
         self._rebuild_index_from_records(self.granularity)
         restored = self.cache.restore(store)
+        self.heat.import_state(store.get_meta("heat_state"))
         self.binding = LazyDataBinding(self.repo, self.adapter, self.index,
                                        self.cache, self.db.oplog,
-                                       metadata_refresh=self.refresh_file_metadata)
+                                       metadata_refresh=self.refresh_file_metadata,
+                                       heat=self.heat)
         self.db.register_lazy_table(self.data_table, self.binding)
         files_table = self.db.catalog.table((self.schema, "files"))
         records_table = self.db.catalog.table((self.schema, "records"))
@@ -550,11 +645,26 @@ class LazyETL:
             self.db.attach(store)
         store = self.db.catalog.store
         store.set_meta("granularity", self.granularity.value)
+        # Heat survives restarts: a warm-started warehouse resumes
+        # promotion where the previous process left off.
+        store.set_meta("heat_state", self.heat.export_state())
         self.db.checkpoint()
-        entries = self.cache.spill(store)
+        entries = self.cache.spill(store, skip=self._covered_by_promotion)
         self.db.oplog.record("storage", "lazy warehouse checkpoint",
                              cache_entries=entries)
         return entries
+
+    def _covered_by_promotion(self, uri: str, seq_no: int, mtime_ns: int,
+                              columns: dict) -> bool:
+        """True when a promoted segment already persists this cache
+        entry (same generation, at least the same columns) — spilling it
+        again would store the hot set twice and restore dead weight."""
+        promoted = None if self.binding is None else self.binding.promoted
+        if promoted is None:
+            return False
+        unit = promoted.unit(uri, seq_no)
+        return (unit is not None and unit.mtime_ns == mtime_ns
+                and set(columns) <= set(unit.columns))
 
     def _rebuild_index_from_records(self, exact_granularity: Granularity) -> None:
         """Reconstruct the in-memory record index from the R table."""
@@ -590,7 +700,8 @@ class LazyETL:
         self.index.load(harvest)
         self.binding = LazyDataBinding(self.repo, self.adapter, self.index,
                                        self.cache, self.db.oplog,
-                                       metadata_refresh=self.refresh_file_metadata)
+                                       metadata_refresh=self.refresh_file_metadata,
+                                       heat=self.heat)
         self.db.register_lazy_table(self.data_table, self.binding)
         report = ETLReport(
             strategy=f"lazy[{self.granularity.value}]",

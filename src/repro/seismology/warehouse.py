@@ -105,6 +105,7 @@ class SeismicWarehouse:
                 schema_mod.create_dataview(self.db, schema)
             if not defer_load:
                 self.load()
+        self._attach_promoted()
 
     def _can_warm_start(self) -> bool:
         if self.store is None or self.mode != "lazy":
@@ -121,7 +122,25 @@ class SeismicWarehouse:
         report = outcome.report if hasattr(outcome, "report") else outcome
         report.seconds = max(report.seconds, time.perf_counter() - started)
         self.load_report = report
+        self._attach_promoted()
         return report
+
+    def _attach_promoted(self) -> None:
+        """Mount the store's promoted segments on the lazy binding.
+
+        Promoted units persisted by an earlier process are served again
+        immediately — zero re-extraction of promoted ranges after a
+        warm start.  No-op outside lazy mode, without storage, or before
+        the binding exists (``defer_load``).
+        """
+        if self.mode != "lazy" or self.store is None:
+            return
+        binding = self.pipeline.binding
+        if binding is None or binding.promoted is not None:
+            return
+        from repro.storage.promoted import PromotedStore
+
+        binding.promoted = PromotedStore(self.store)
 
     def checkpoint(self, storage_path: "str | os.PathLike | None" = None
                    ) -> int:
@@ -142,11 +161,61 @@ class SeismicWarehouse:
                 "construction"
             )
         if self.mode == "lazy":
-            return self.pipeline.checkpoint(self.store)
+            entries = self.pipeline.checkpoint(self.store)
+            self._attach_promoted()
+            return entries
         if self.db.catalog.store is None:
             self.db.attach(self.store)
         self.db.checkpoint()
         return 0
+
+    def promote(self, budget_bytes: "int | None" = None, *,
+                min_score: "float | None" = None, max_units: int = 512):
+        """Run one synchronous lazy→eager promotion cycle.
+
+        Materializes the hottest extraction units (per the access-heat
+        tracker fed by every query) into promoted segments in the
+        attached store, and demotes the coldest segments while the
+        promoted footprint exceeds ``budget_bytes``.  Subsequent queries
+        over promoted ranges read transformed columns from disk pages
+        instead of re-extracting.  Returns a
+        :class:`~repro.service.promoter.PromotionReport`.
+
+        ``min_score`` defaults to the
+        :class:`~repro.service.promoter.PromoterConfig` threshold:
+        nothing is promoted until the workload has touched a unit more
+        than once recently.  Pass ``min_score=0.0`` to materialize
+        everything ever touched (an explicit "promote it all" request).
+
+        For continuous promotion under live traffic, pass
+        ``promote=True`` to :meth:`serve` instead (the service owns a
+        :class:`~repro.service.promoter.BackgroundPromoter`).
+        """
+        if self.mode != "lazy":
+            raise ETLError("promotion applies to lazy mode only")
+        if self.store is None:
+            raise ETLError(
+                "promotion requires attached storage: pass storage_path "
+                "at construction or checkpoint(storage_path=...) first"
+            )
+        if self.pipeline.binding is None:
+            raise ETLError(
+                "promotion requires a loaded warehouse: call load() "
+                "first (defer_load=True skipped it)"
+            )
+        self._attach_promoted()
+        from repro.service.promoter import Promoter, PromoterConfig
+
+        config = PromoterConfig(
+            budget_bytes=(PromoterConfig.budget_bytes if budget_bytes is None
+                          else budget_bytes),
+            min_score=(PromoterConfig.min_score if min_score is None
+                       else min_score),
+            max_units_per_cycle=max_units,
+        )
+        promoter = Promoter(self.pipeline.binding, self.pipeline.heat,
+                            self.pipeline.binding.promoted, config)
+        return promoter.run_cycle()
 
     def sync(self) -> SyncReport:
         """Refresh the warehouse after repository changes."""
@@ -239,6 +308,17 @@ class SeismicWarehouse:
     @property
     def recycler(self):
         return self.db.recycler
+
+    @property
+    def heat(self):
+        """The access-heat tracker; ``None`` outside lazy mode."""
+        return getattr(self.pipeline, "heat", None)
+
+    @property
+    def promoted(self):
+        """The promoted-segment store; ``None`` without lazy storage."""
+        binding = getattr(self.pipeline, "binding", None)
+        return None if binding is None else binding.promoted
 
     def files_extracted_by_last_query(self) -> list[str]:
         """Which repository files the last query touched (panel 5)."""

@@ -51,6 +51,12 @@ class ServiceConfig:
     coalesce: bool = True         # single-flight extraction sharing
     extract_workers: int = 0      # 0 disables the per-file fan-out pool
     wait_timeout_s: float = 30.0  # coalesced-wait patience before fallback
+    # Adaptive lazy→eager promotion (requires warehouse storage_path):
+    promote: bool = False         # own a BackgroundPromoter thread
+    promote_interval_s: float = 1.0
+    promote_budget_bytes: int = 256 * 1024 * 1024
+    promote_min_score: float = 2.0
+    promote_max_units: int = 512
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -59,6 +65,16 @@ class ServiceConfig:
             self.max_in_flight = self.max_workers
         if self.max_in_flight <= 0:
             raise ServiceError("max_in_flight must be positive")
+        if self.promote:
+            if self.promote_interval_s <= 0:
+                raise ServiceError(
+                    "promote_interval_s must be positive (0 would "
+                    "busy-spin the background promoter)"
+                )
+            if self.promote_budget_bytes <= 0:
+                raise ServiceError("promote_budget_bytes must be positive")
+            if self.promote_max_units <= 0:
+                raise ServiceError("promote_max_units must be positive")
 
 
 @dataclass
@@ -197,6 +213,7 @@ class WarehouseService:
         )
         self.coalescer: Optional[ExtractionCoalescer] = None
         self.extract_pool: Optional[ParallelExtractor] = None
+        self.promoter = None  # BackgroundPromoter when config.promote
         self._sessions: dict[str, ClientSession] = {}
         self._session_counter = itertools.count(1)
         self._submit_counter = itertools.count(1)
@@ -226,6 +243,14 @@ class WarehouseService:
                     self.config.extract_workers)
                 binding.extract_pool = self.extract_pool
             binding.wait_timeout_s = self.config.wait_timeout_s
+            if self.config.promote:
+                self.promoter = self._build_promoter(binding)
+                self.promoter.start()
+        elif self.config.promote:
+            raise ServiceError(
+                "promote=True requires a lazy warehouse (eager/external "
+                "modes have no extraction to promote)"
+            )
         for i in range(self.config.max_workers):
             worker = threading.Thread(
                 target=self._worker_loop,
@@ -243,11 +268,38 @@ class WarehouseService:
             extract_workers=self.config.extract_workers,
         )
 
+    def _build_promoter(self, binding):
+        """Wire a BackgroundPromoter over the warehouse's heat + store."""
+        from repro.service.promoter import (
+            BackgroundPromoter,
+            Promoter,
+            PromoterConfig,
+        )
+
+        self.warehouse._attach_promoted()
+        if binding.promoted is None:
+            raise ServiceError(
+                "promote=True requires the warehouse to have attached "
+                "storage (SeismicWarehouse(storage_path=...))"
+            )
+        promoter = Promoter(
+            binding, self.warehouse.pipeline.heat, binding.promoted,
+            PromoterConfig(
+                budget_bytes=self.config.promote_budget_bytes,
+                min_score=self.config.promote_min_score,
+                max_units_per_cycle=self.config.promote_max_units,
+                interval_s=self.config.promote_interval_s,
+            ),
+        )
+        return BackgroundPromoter(promoter)
+
     def close(self) -> None:
         """Stop accepting work, finish in-flight queries, detach hooks."""
         if self._closed:
             return
         self._closed = True
+        if self.promoter is not None:
+            self.promoter.stop()
         self.admission.close()
         for item in self.admission.drain():
             item.future.set_exception(

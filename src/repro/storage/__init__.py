@@ -29,9 +29,12 @@ from repro.storage.segment import (
     SegmentReader,
     SegmentWriter,
 )
+from repro.storage.promoted import PromotedStore, PromotedUnit
 from repro.storage.store import TableBacking, TableStore
 
 __all__ = [
+    "PromotedStore",
+    "PromotedUnit",
     "BufferPool",
     "PoolStats",
     "CODEC_NAMES",

@@ -1,0 +1,314 @@
+"""Promoted segments: eagerly materialized extraction units on disk.
+
+The adaptive promotion subsystem closes the paper's lazy-vs-eager
+crossover at runtime: units the workload keeps re-touching are written
+*once* into segment files (the same page codecs the table store uses) and
+served from there afterwards — a disk-backed scan through the buffer
+pool, like :class:`~repro.db.plan.physical.PDiskScan`, instead of
+re-running extraction and transformation against the source file.
+
+:class:`PromotedStore` owns the unit index and the read/write path:
+
+* **promote** — :meth:`promote_batch` writes one immutable segment
+  holding the transformed columns of a batch of ``(uri, seq_no)`` units
+  and registers them in the store manifest (area ``promoted``), so they
+  survive restarts exactly like checkpointed tables;
+* **serve** — :meth:`fetch` returns a unit's columns if the segment
+  covers the needed column set *and* the unit's admission mtime still
+  matches the source file (staleness falls back to the lazy path);
+* **demote** — :meth:`drop_segment` removes a whole segment (the
+  demotion grain: segments are immutable, so cold data is reclaimed by
+  dropping files, never rewritten).
+
+Thread safety: queries ``fetch`` concurrently from service workers while
+the background promoter mutates the index; the internal lock covers the
+index, and segment files themselves are immutable once published.
+Manifest commits are serialised by :attr:`mutate_lock`, which the
+promoter holds for a whole promote/demote cycle.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.segment import IOCounter, SegmentReader
+from repro.storage.store import TableStore
+
+
+@dataclass
+class PromotedUnit:
+    """Index entry: where one promoted unit's columns live."""
+
+    uri: str
+    seq_no: int
+    mtime_ns: int                  # source-file mtime at promotion
+    segment: str                   # segment file name inside the store
+    columns: dict[str, str]        # column name -> segment slot name
+    rows: int
+
+
+@dataclass
+class PromotedStats:
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    stale_drops: int = 0
+    promoted_units: int = 0
+    demoted_units: int = 0
+
+
+class PromotedStore:
+    """Index + I/O for promoted segments inside one :class:`TableStore`."""
+
+    def __init__(self, store: TableStore) -> None:
+        self.store = store
+        self._units: dict[tuple[str, int], PromotedUnit] = {}
+        self._segments: dict[str, list[tuple[str, int]]] = {}
+        # Per-file views: which seq_nos are promoted, and the source
+        # file's mtime at promotion.  The mtime doubles as the
+        # warm-start staleness sentinel for fully-promoted files, whose
+        # cache entries are deliberately not spilled (see
+        # LazyETL._covered_by_promotion) — without it, a rewrite across
+        # a restart would never trigger the metadata refresh.
+        self._by_uri: dict[str, set[int]] = {}
+        self._file_mtime: dict[str, int] = {}
+        self._readers: dict[str, SegmentReader] = {}
+        self._lock = threading.RLock()
+        # Serialises whole promote/demote cycles (manifest commits are
+        # not safe to interleave from two promoters).
+        self.mutate_lock = threading.Lock()
+        self.stats = PromotedStats()
+        self._load_index()
+
+    def _load_index(self) -> None:
+        for segment, entries in self.store.promoted_segments().items():
+            keys: list[tuple[str, int]] = []
+            for entry in entries:
+                unit = PromotedUnit(
+                    uri=entry["uri"], seq_no=int(entry["seq_no"]),
+                    mtime_ns=int(entry["mtime_ns"]), segment=segment,
+                    columns=dict(entry["columns"]), rows=int(entry["rows"]),
+                )
+                self._units[(unit.uri, unit.seq_no)] = unit
+                self._by_uri.setdefault(unit.uri, set()).add(unit.seq_no)
+                self._file_mtime[unit.uri] = unit.mtime_ns
+                keys.append((unit.uri, unit.seq_no))
+            self._segments[segment] = keys
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._units)
+
+    def __contains__(self, key: tuple[str, int]) -> bool:
+        with self._lock:
+            return key in self._units
+
+    def unit(self, uri: str, seq_no: int) -> Optional[PromotedUnit]:
+        with self._lock:
+            return self._units.get((uri, seq_no))
+
+    def unit_keys(self) -> set[tuple[str, int]]:
+        with self._lock:
+            return set(self._units)
+
+    def segments(self) -> dict[str, list[tuple[str, int]]]:
+        with self._lock:
+            return {seg: list(keys) for seg, keys in self._segments.items()}
+
+    def segment_sizes(self) -> dict[str, int]:
+        """On-disk bytes per live promoted segment."""
+        with self._lock:
+            segments = list(self._segments)
+        sizes: dict[str, int] = {}
+        for segment in segments:
+            try:
+                sizes[segment] = os.path.getsize(
+                    os.path.join(self.store.root, segment))
+            except OSError:
+                sizes[segment] = 0
+        return sizes
+
+    def disk_bytes(self) -> int:
+        """On-disk footprint of every live promoted segment."""
+        return sum(self.segment_sizes().values())
+
+    # -- serving -----------------------------------------------------------------
+
+    def fetch(self, uri: str, seq_no: int, needed: Iterable[str],
+              current_mtime_ns: int
+              ) -> Optional[tuple[dict[str, np.ndarray], int]]:
+        """Serve one unit's columns from its promoted segment.
+
+        Returns ``(columns, pages_read)`` or ``None`` when the unit is
+        not promoted, does not cover ``needed``, or is stale (the source
+        file changed since promotion — the unit is dropped from the index
+        so the lazy path re-extracts, and the next promoter cycle
+        reclaims the segment if nothing live remains in it).
+        """
+        needed = list(needed)
+        with self._lock:
+            self.stats.lookups += 1
+            unit = self._units.get((uri, seq_no))
+            if unit is None or any(col not in unit.columns for col in needed):
+                self.stats.misses += 1
+                return None
+            if unit.mtime_ns != current_mtime_ns:
+                self._drop_unit_locked((uri, seq_no))
+                self.stats.stale_drops += 1
+                self.stats.misses += 1
+                return None
+            reader = self._reader_locked(unit.segment)
+        io = IOCounter()  # private tally: the pool counters are shared
+        try:
+            columns = {col: reader.read_column(unit.columns[col],
+                                               io=io).values
+                       for col in needed}
+        except (StorageError, ValueError, OSError):
+            # The segment vanished under us (concurrent demotion swept
+            # the file or closed the reader's mmap): behave like a miss,
+            # the lazy path still works.
+            with self._lock:
+                self._drop_unit_locked((uri, seq_no))
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return columns, io.disk_reads
+
+    def file_has_units(self, uri: str) -> bool:
+        """Whether any unit of this file is promoted — the query path's
+        per-file short-circuit, so files with nothing promoted pay one
+        lock round-trip instead of one per record."""
+        with self._lock:
+            return uri in self._by_uri
+
+    def file_is_stale(self, uri: str, current_mtime_ns: int) -> bool:
+        """Whether the file changed since its units were promoted.
+
+        The query path consults this alongside the extraction cache's
+        ``validate_file``: for a fully-promoted file the cache may hold
+        no entries (none were spilled), so this is the only staleness
+        sentinel that survives a restart.
+        """
+        with self._lock:
+            known = self._file_mtime.get(uri)
+            return known is not None and known != current_mtime_ns
+
+    def invalidate_file(self, uri: str) -> int:
+        """Stop serving every unit of a changed file (in-memory only;
+        the next promoter cycle garbage-collects emptied segments)."""
+        with self._lock:
+            doomed = [(uri, seq) for seq in self._by_uri.get(uri, ())]
+            for key in doomed:
+                self._drop_unit_locked(key)
+            self.stats.stale_drops += len(doomed)
+            return len(doomed)
+
+    def _drop_unit_locked(self, key: tuple[str, int]) -> None:
+        unit = self._units.pop(key, None)
+        if unit is None:
+            return
+        keys = self._segments.get(unit.segment)
+        if keys is not None:
+            try:
+                keys.remove(key)
+            except ValueError:
+                pass
+        seqs = self._by_uri.get(key[0])
+        if seqs is not None:
+            seqs.discard(key[1])
+            if not seqs:
+                del self._by_uri[key[0]]
+                self._file_mtime.pop(key[0], None)
+
+    def _reader_locked(self, segment: str) -> SegmentReader:
+        reader = self._readers.get(segment)
+        if reader is None:
+            reader = SegmentReader(
+                os.path.join(self.store.root, segment), self.store.pool
+            )
+            self._readers[segment] = reader
+        return reader
+
+    # -- promotion / demotion ------------------------------------------------------
+
+    def promote_batch(
+        self,
+        entries: list[tuple[str, int, int, dict[str, np.ndarray]]],
+        *, commit: bool = True,
+    ) -> Optional[str]:
+        """Write one segment of ``(uri, seq_no, mtime_ns, columns)`` units.
+
+        Already-promoted units are re-promoted in the new segment (the
+        fresh entry wins in the index; the old segment's copy becomes
+        dead weight until demotion reclaims it).  Returns the segment
+        file name, or ``None`` for an empty batch.
+        """
+        entries = [e for e in entries if e[3]]
+        if not entries:
+            return None
+        segment, directory = self.store.save_promoted_segment(
+            entries, commit=commit)
+        with self._lock:
+            keys: list[tuple[str, int]] = []
+            for entry in directory:
+                unit = PromotedUnit(
+                    uri=entry["uri"], seq_no=int(entry["seq_no"]),
+                    mtime_ns=int(entry["mtime_ns"]), segment=segment,
+                    columns=dict(entry["columns"]), rows=int(entry["rows"]),
+                )
+                key = (unit.uri, unit.seq_no)
+                self._drop_unit_locked(key)  # re-promotion: new copy wins
+                self._units[key] = unit
+                self._by_uri.setdefault(unit.uri, set()).add(unit.seq_no)
+                self._file_mtime[unit.uri] = unit.mtime_ns
+                keys.append(key)
+            self._segments[segment] = keys
+            self.stats.promoted_units += len(keys)
+        return segment
+
+    def drop_segment(self, segment: str, *, commit: bool = True) -> int:
+        """Demote one whole segment; returns the number of live units
+        it still carried."""
+        with self._lock:
+            keys = self._segments.pop(segment, [])
+            for key in list(keys):
+                self._drop_unit_locked(key)
+            reader = self._readers.pop(segment, None)
+            self.stats.demoted_units += len(keys)
+        if reader is not None:
+            reader.close()
+        self.store.drop_promoted_segment(segment, commit=commit)
+        return len(keys)
+
+    def empty_segments(self) -> list[str]:
+        """Segments whose units have all been invalidated (GC candidates)."""
+        with self._lock:
+            return [seg for seg, keys in self._segments.items() if not keys]
+
+    def close(self) -> None:
+        with self._lock:
+            readers, self._readers = list(self._readers.values()), {}
+        for reader in readers:
+            reader.close()
+
+    def render(self, max_rows: int = 12) -> str:
+        with self._lock:
+            lines = [
+                f"promoted store: {len(self._units)} units in "
+                f"{len(self._segments)} segments"
+            ]
+            for (uri, seq_no), unit in list(self._units.items())[:max_rows]:
+                lines.append(
+                    f"  {uri} seq={seq_no} rows={unit.rows} "
+                    f"cols={sorted(unit.columns)} seg={unit.segment}"
+                )
+        return "\n".join(lines)

@@ -128,6 +128,23 @@ class SegmentWriter:
             self._finished = True
 
 
+class IOCounter:
+    """Per-call disk I/O tally for :meth:`SegmentReader.read_column`.
+
+    The buffer pool's global counters are shared by every concurrent
+    reader, so a before/after delta over them contaminates per-query
+    accounting under load; callers that need *their own* I/O pass one of
+    these instead — it is incremented only when this call's loader
+    actually hits the disk.
+    """
+
+    __slots__ = ("disk_reads", "bytes_read")
+
+    def __init__(self) -> None:
+        self.disk_reads = 0
+        self.bytes_read = 0
+
+
 class SegmentReader:
     """Lazily read a segment's columns through a buffer pool."""
 
@@ -204,21 +221,32 @@ class SegmentReader:
     def _load_slot(self, slot: PageSlot) -> bytes:
         return bytes(self._mm[slot.offset:slot.offset + slot.length])
 
-    def read_column(self, name: str) -> Column:
+    def read_column(self, name: str,
+                    io: "IOCounter | None" = None) -> Column:
         """Materialise one column, page by page, through the pool.
 
         Pages are pinned only while being decoded, so a scan wider than
-        the pool budget streams instead of failing.
+        the pool budget streams instead of failing.  ``io``, when given,
+        counts the disk reads *this call* led (pool hits and loads
+        coalesced onto another thread's in-flight read cost it nothing).
         """
         slots = self._directory.get(name)
         if slots is None:
             raise StorageError(
                 f"segment {self.path} has no column {name!r}"
             )
+
+        def load(slot: PageSlot) -> bytes:
+            raw = self._load_slot(slot)
+            if io is not None:
+                io.disk_reads += 1
+                io.bytes_read += len(raw)
+            return raw
+
         parts: list[Column] = []
         for slot in slots:
             key = (self.path, slot.offset)
-            raw = self.pool.pin(key, lambda s=slot: self._load_slot(s))
+            raw = self.pool.pin(key, lambda s=slot: load(s))
             try:
                 parts.append(fmt.decode_page(raw))
             finally:

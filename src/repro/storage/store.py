@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Iterable, Optional
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.storage.segment import SegmentReader, SegmentWriter
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
 _CACHE_SEGMENT = "__cache__"
+_PROMOTED_SEGMENT = "__promoted__"
 
 
 def _schema_to_json(schema: TableSchema) -> dict:
@@ -125,11 +127,19 @@ class TableStore:
         self.root = os.fspath(root)
         os.makedirs(self.root, exist_ok=True)
         self.pool = BufferPool(bufferpool_bytes)
+        # Manifest writers can live on different threads (a checkpoint on
+        # the main thread vs a BackgroundPromoter publishing segments):
+        # one reentrant lock serialises every manifest mutation + commit,
+        # so generations stay unique, json encoding never sees a dict
+        # mutating under it, and the orphan sweep can never run between a
+        # segment landing on disk and its manifest entry being recorded.
+        self._mutate = threading.RLock()
         self._manifest: dict = {
             "version": MANIFEST_VERSION,
             "generation": 0,
             "tables": {},
             "cache": None,
+            "promoted": {},
             "meta": {},
         }
         self._load_manifest()
@@ -154,21 +164,23 @@ class TableStore:
 
     def commit(self) -> None:
         """Atomically publish the manifest, then sweep orphan segments."""
-        tmp_path = self.manifest_path + ".tmp"
-        encoded = json.dumps(self._manifest, sort_keys=True,
-                             indent=1).encode("utf-8")
-        with open(tmp_path, "wb") as handle:
-            handle.write(encoded)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_path, self.manifest_path)
-        self._sweep_orphans()
+        with self._mutate:
+            tmp_path = self.manifest_path + ".tmp"
+            encoded = json.dumps(self._manifest, sort_keys=True,
+                                 indent=1).encode("utf-8")
+            with open(tmp_path, "wb") as handle:
+                handle.write(encoded)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.manifest_path)
+            self._sweep_orphans()
 
     def _live_segments(self) -> set[str]:
         live = {entry["segment"] for entry in self._manifest["tables"].values()}
         cache = self._manifest.get("cache")
         if cache is not None:
             live.add(cache["segment"])
+        live.update(self._manifest.get("promoted", {}))
         return live
 
     def _sweep_orphans(self) -> None:
@@ -183,13 +195,16 @@ class TableStore:
                     pass
 
     def _next_generation(self) -> int:
-        self._manifest["generation"] = int(self._manifest["generation"]) + 1
-        return self._manifest["generation"]
+        with self._mutate:
+            self._manifest["generation"] = \
+                int(self._manifest["generation"]) + 1
+            return self._manifest["generation"]
 
     # -- free-form metadata ----------------------------------------------------------
 
     def set_meta(self, key: str, value) -> None:
-        self._manifest["meta"][key] = value
+        with self._mutate:
+            self._manifest["meta"][key] = value
 
     def get_meta(self, key: str, default=None):
         return self._manifest["meta"].get(key, default)
@@ -220,29 +235,31 @@ class TableStore:
     def save_table(self, qualified_name: str, table: Table,
                    *, commit: bool = True) -> str:
         """Write one table's columns as a fresh segment generation."""
-        generation = self._next_generation()
-        segment_file = f"{qualified_name}.{generation:08d}.seg"
-        writer = SegmentWriter(os.path.join(self.root, segment_file))
-        try:
-            for spec in table.schema.columns:
-                writer.write_column(spec.name, table.column(spec.name))
-            writer.finish()
-        except BaseException:
-            writer.abort()
-            raise
-        self._manifest["tables"][qualified_name] = {
-            "segment": segment_file,
-            "schema": _schema_to_json(table.schema),
-            "row_count": table.row_count,
-        }
-        if commit:
-            self.commit()
-        return segment_file
+        with self._mutate:
+            generation = self._next_generation()
+            segment_file = f"{qualified_name}.{generation:08d}.seg"
+            writer = SegmentWriter(os.path.join(self.root, segment_file))
+            try:
+                for spec in table.schema.columns:
+                    writer.write_column(spec.name, table.column(spec.name))
+                writer.finish()
+            except BaseException:
+                writer.abort()
+                raise
+            self._manifest["tables"][qualified_name] = {
+                "segment": segment_file,
+                "schema": _schema_to_json(table.schema),
+                "row_count": table.row_count,
+            }
+            if commit:
+                self.commit()
+            return segment_file
 
     def drop_table(self, qualified_name: str, *, commit: bool = True) -> None:
-        self._manifest["tables"].pop(qualified_name, None)
-        if commit:
-            self.commit()
+        with self._mutate:
+            self._manifest["tables"].pop(qualified_name, None)
+            if commit:
+                self.commit()
 
     def backing_for(self, qualified_name: str) -> TableBacking:
         entry = self._entry(qualified_name)
@@ -255,6 +272,53 @@ class TableStore:
 
     def disk_bytes(self) -> int:
         return sum(self.table_disk_bytes(name) for name in self.table_names())
+
+    # -- per-unit segments (cache snapshots + promoted units) -----------------------
+
+    def _write_entry_segment(
+        self,
+        prefix: str,
+        entries: Iterable[tuple[dict, dict[str, np.ndarray]]],
+    ) -> tuple[Optional[str], list[dict]]:
+        """Write one segment of per-unit arrays; shared by cache
+        snapshots and promoted segments so the two encodings can never
+        drift apart.
+
+        ``entries`` yields ``(meta, columns)``; each column array becomes
+        one slot named ``<index>/<column>``, written as a single page —
+        a unit read always wants the whole array, never a page subset.
+        Returns ``(segment file, directory)``; an empty input aborts the
+        writer and returns ``(None, [])``.  Callers hold ``_mutate``.
+        """
+        generation = self._next_generation()
+        segment_file = f"{prefix}.{generation:08d}.seg"
+        writer = SegmentWriter(os.path.join(self.root, segment_file),
+                               uniform=False)
+        directory: list[dict] = []
+        try:
+            for count, (meta, columns) in enumerate(entries):
+                slot_columns = {}
+                rows = 0
+                for name, values in columns.items():
+                    slot = f"{count}/{name}"
+                    values = np.asarray(values)
+                    rows = len(values)
+                    writer.write_column(
+                        slot,
+                        Column.from_numpy(_np_to_sql_dtype(values), values),
+                        page_rows=max(len(values), 1),
+                    )
+                    slot_columns[name] = slot
+                directory.append({**meta, "columns": slot_columns,
+                                  "rows": rows})
+            if not directory:
+                writer.abort()
+                return None, []
+            writer.finish()
+        except BaseException:
+            writer.abort()
+            raise
+        return segment_file, directory
 
     # -- extraction-cache snapshots ----------------------------------------------
 
@@ -274,46 +338,23 @@ class TableStore:
         codecs — sample data compresses like any other int64 column),
         entry keys into the manifest.
         """
-        generation = self._next_generation()
-        segment_file = f"{_CACHE_SEGMENT}.{generation:08d}.seg"
-        writer = SegmentWriter(os.path.join(self.root, segment_file),
-                               uniform=False)
-        directory: list[dict] = []
-        try:
-            count = 0
-            for uri, seq_no, mtime_ns, cost, columns in entries:
-                slot_columns = {}
-                for name, values in columns.items():
-                    slot = f"{count}/{name}"
-                    dtype = _np_to_sql_dtype(values)
-                    writer.write_column(
-                        slot,
-                        Column.from_numpy(dtype, np.asarray(values)),
-                        # Per-entry arrays are one record each; a single
-                        # page per array keeps restore exact and simple.
-                        page_rows=max(len(values), 1),
-                    )
-                    slot_columns[name] = slot
-                directory.append({
-                    "uri": uri, "seq_no": seq_no, "mtime_ns": mtime_ns,
-                    "cost": cost, "columns": slot_columns,
-                })
-                count += 1
-            if count == 0:
-                writer.abort()
+        with self._mutate:
+            segment_file, directory = self._write_entry_segment(
+                _CACHE_SEGMENT,
+                (({"uri": uri, "seq_no": seq_no, "mtime_ns": mtime_ns,
+                   "cost": cost}, columns)
+                 for uri, seq_no, mtime_ns, cost, columns in entries),
+            )
+            if segment_file is None:
                 self._manifest["cache"] = None
             else:
-                writer.finish()
                 self._manifest["cache"] = {
                     "segment": segment_file,
                     "entries": directory,
                 }
-        except BaseException:
-            writer.abort()
-            raise
-        if commit:
-            self.commit()
-        return count
+            if commit:
+                self.commit()
+            return len(directory)
 
     def load_cache_snapshot(
         self,
@@ -339,6 +380,47 @@ class TableStore:
             return out
         finally:
             reader.close()
+
+    # -- promoted segments (adaptive lazy→eager promotion) -------------------------
+
+    def promoted_segments(self) -> dict[str, list[dict]]:
+        """Manifest directory of promoted segments: file -> unit entries."""
+        return self._manifest.get("promoted", {})
+
+    def save_promoted_segment(
+        self,
+        entries: Iterable[tuple[str, int, int, dict[str, np.ndarray]]],
+        *, commit: bool = True,
+    ) -> tuple[str, list[dict]]:
+        """Persist one batch of promoted units as an immutable segment.
+
+        ``entries`` yields ``(uri, seq_no, mtime_ns, columns)``; the
+        transformed arrays reuse the table page codecs, the unit
+        directory lands in the manifest's ``promoted`` area.  Returns
+        the segment file name and its directory entries.
+        """
+        with self._mutate:
+            segment_file, directory = self._write_entry_segment(
+                _PROMOTED_SEGMENT,
+                (({"uri": uri, "seq_no": seq_no, "mtime_ns": mtime_ns},
+                  columns)
+                 for uri, seq_no, mtime_ns, columns in entries),
+            )
+            if segment_file is None:
+                raise StorageError("empty promoted batch")
+            self._manifest.setdefault("promoted", {})[segment_file] = \
+                directory
+            if commit:
+                self.commit()
+            return segment_file, directory
+
+    def drop_promoted_segment(self, segment_file: str,
+                              *, commit: bool = True) -> None:
+        """Demote one promoted segment (the commit sweep deletes it)."""
+        with self._mutate:
+            self._manifest.get("promoted", {}).pop(segment_file, None)
+            if commit:
+                self.commit()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"TableStore({self.root}, tables={len(self.table_names())}, "

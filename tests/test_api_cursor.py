@@ -226,6 +226,61 @@ def test_executemany_parses_once(conn):
     assert cur.report.plan_cache_hit
 
 
+def _counting_cursor(rowcounts):
+    """A cursor over a fake runner yielding fixed per-run rowcounts."""
+    from repro.db.exec.engine import CompletedQuery, QueryReport
+
+    runs = iter(rowcounts)
+
+    def runner(_sql, _params, _batch_rows):
+        return CompletedQuery(Result([], []), QueryReport(), [],
+                              is_rowset=False, rowcount=next(runs))
+
+    from repro.api.cursor import Cursor
+
+    return Cursor(runner)
+
+
+def test_executemany_indeterminate_run_poisons_total():
+    """DB-API: one -1 constituent makes the whole batch total -1.
+
+    The old accounting silently *skipped* -1 runs and summed the rest,
+    under-reporting the batch.
+    """
+    cur = _counting_cursor([5, -1, 3])
+    cur.executemany("STMT", [None, None, None])
+    assert cur.rowcount == -1
+
+
+def test_executemany_sums_determinate_runs():
+    cur = _counting_cursor([5, 0, 3])
+    cur.executemany("STMT", [None, None, None])
+    assert cur.rowcount == 8
+
+
+def test_executemany_all_indeterminate():
+    cur = _counting_cursor([-1, -1])
+    cur.executemany("STMT", [None, None])
+    assert cur.rowcount == -1
+
+
+def test_executemany_empty_sequence_leaves_rowcount_untouched():
+    cur = _counting_cursor([7])
+    cur.executemany("STMT", [None])
+    assert cur.rowcount == 7
+    cur.executemany("STMT", [])  # nothing ran: prior state stands
+    assert cur.rowcount == 7
+
+
+def test_executemany_select_batch_is_indeterminate(conn):
+    # Streaming SELECTs report -1 until exhausted; a batch of them must
+    # stay -1 rather than summing to a misleading 0.
+    cur = conn.cursor()
+    cur.executemany("SELECT v FROM nums WHERE v < ?", [[5], [10]])
+    assert cur.rowcount == -1
+    assert len(cur.fetchall()) == 10  # the last run is still consumable
+
+
 def test_explain_through_cursor(conn):
     cur = conn.execute("EXPLAIN SELECT count(*) FROM nums")
     rows = cur.fetchall()

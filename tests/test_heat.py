@@ -1,0 +1,174 @@
+"""Access-heat tracking (the adaptive-promotion sensor)."""
+
+import threading
+
+import pytest
+
+from repro.etl.heat import AccessHeatTracker, HeatUnit
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracker(clock):
+    return AccessHeatTracker(half_life_s=10.0, clock=clock)
+
+
+def test_touch_accumulates_and_orders(tracker):
+    tracker.touch("a.seed", 1, ["sample_value"], kind="extract")
+    tracker.touch("a.seed", 1, ["sample_value"], kind="cache_hit")
+    tracker.touch("b.seed", 7, ["sample_value"], kind="cache_hit")
+    hottest = tracker.hottest(10)
+    assert [(u, s) for u, s, _score, _unit in hottest] == \
+        [("a.seed", 1), ("b.seed", 7)]
+    assert tracker.score_of("a.seed", 1) == pytest.approx(2.0)
+    assert tracker.score_of("b.seed", 7) == pytest.approx(1.0)
+
+
+def test_exponential_decay_half_life(tracker, clock):
+    tracker.touch("a.seed", 1, ["sample_value"])
+    clock.advance(10.0)  # one half-life
+    assert tracker.score_of("a.seed", 1) == pytest.approx(0.5)
+    clock.advance(10.0)
+    assert tracker.score_of("a.seed", 1) == pytest.approx(0.25)
+
+
+def test_decay_applies_before_new_touches(tracker, clock):
+    tracker.touch("a.seed", 1, ["sample_value"])
+    clock.advance(20.0)  # score decays to 0.25
+    tracker.touch("a.seed", 1, ["sample_value"])
+    assert tracker.score_of("a.seed", 1) == pytest.approx(1.25)
+
+
+def test_cold_units_fall_below_hot_ones(tracker, clock):
+    for _ in range(5):
+        tracker.touch("hot.seed", 1, ["sample_value"])
+    tracker.touch("cold.seed", 2, ["sample_value"])
+    clock.advance(30.0)
+    tracker.touch("hot.seed", 1, ["sample_value"])  # still in demand
+    hot = tracker.hottest(10, min_score=1.0)
+    assert [(u, s) for u, s, _sc, _un in hot] == [("hot.seed", 1)]
+
+
+def test_touch_units_bulk_and_kinds(tracker):
+    tracker.touch_units("a.seed", [1, 2, 3], ["sample_value"],
+                        kind="extract", nbytes=3000)
+    tracker.touch_units("a.seed", [1, 2], ["sample_time"],
+                        kind="cache_hit")
+    tracker.touch("a.seed", 1, ["sample_value"], kind="eager_hit")
+    snapshot = {(u, s): unit for u, s, _sc, unit in tracker.snapshot()}
+    unit = snapshot[("a.seed", 1)]
+    assert unit.extractions == 1
+    assert unit.cache_hits == 1
+    assert unit.eager_hits == 1
+    assert unit.columns == {"sample_value", "sample_time"}
+    assert unit.nbytes == 1000  # evenly split estimate
+    assert tracker.stats.touches == 6
+
+
+def test_unknown_kind_rejected(tracker):
+    with pytest.raises(ValueError, match="unknown access kind"):
+        tracker.touch("a.seed", 1, ["v"], kind="warm_fuzzy")
+
+
+def test_hottest_respects_min_score_and_exclude(tracker):
+    for seq in range(4):
+        for _ in range(seq + 1):
+            tracker.touch("a.seed", seq, ["v"])
+    picked = tracker.hottest(10, min_score=2.0, exclude={("a.seed", 3)})
+    assert [(u, s) for u, s, _sc, _un in picked] == \
+        [("a.seed", 2), ("a.seed", 1)]
+    assert len(tracker.hottest(1, min_score=0.0)) == 1
+
+
+def test_forget_file_drops_only_that_file(tracker):
+    tracker.touch("a.seed", 1, ["v"])
+    tracker.touch("a.seed", 2, ["v"])
+    tracker.touch("b.seed", 1, ["v"])
+    assert tracker.forget_file("a.seed") == 2
+    assert len(tracker) == 1
+    assert tracker.score_of("b.seed", 1) > 0
+    assert tracker.forget_file("missing.seed") == 0
+
+
+def test_export_import_roundtrip(tracker, clock):
+    tracker.touch_units("a.seed", [1, 2], ["sample_value"],
+                        kind="extract", nbytes=2000)
+    clock.advance(5.0)
+    tracker.touch("a.seed", 1, ["sample_time"], kind="cache_hit")
+    state = tracker.export_state()
+
+    other = AccessHeatTracker(half_life_s=10.0, clock=clock)
+    assert other.import_state(state) == 2
+    for uri, seq in [("a.seed", 1), ("a.seed", 2)]:
+        assert other.score_of(uri, seq) == \
+            pytest.approx(tracker.score_of(uri, seq))
+    snapshot = {(u, s): unit for u, s, _sc, unit in other.snapshot()}
+    assert snapshot[("a.seed", 1)].columns == {"sample_value", "sample_time"}
+    assert other.stats.restored_units == 2
+
+
+def test_import_keeps_hotter_side(tracker, clock):
+    tracker.touch("a.seed", 1, ["v"])
+    state = tracker.export_state()
+    clock.advance(1.0)
+    live = AccessHeatTracker(half_life_s=10.0, clock=clock)
+    for _ in range(5):
+        live.touch("a.seed", 1, ["v"])
+    hot_score = live.score_of("a.seed", 1)
+    live.import_state(state)  # colder snapshot must not clobber live heat
+    assert live.score_of("a.seed", 1) == pytest.approx(hot_score)
+
+
+def test_import_none_and_empty(tracker):
+    assert tracker.import_state(None) == 0
+    assert tracker.import_state({}) == 0
+
+
+def test_state_is_json_serialisable(tracker):
+    import json
+
+    tracker.touch_units("a.seed", [1, 2], ["sample_value"], kind="extract")
+    encoded = json.dumps(tracker.export_state())
+    restored = AccessHeatTracker(half_life_s=10.0)
+    assert restored.import_state(json.loads(encoded)) == 2
+
+
+def test_concurrent_touches_are_consistent():
+    tracker = AccessHeatTracker(half_life_s=1e9)  # no decay: exact counts
+
+    def hammer(uri):
+        for seq in range(50):
+            for _ in range(10):
+                tracker.touch(uri, seq, ["v"], kind="cache_hit")
+
+    threads = [threading.Thread(target=hammer, args=(f"f{i}.seed",))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tracker) == 200
+    assert tracker.stats.touches == 2000
+    for uri, seq, score, unit in tracker.snapshot():
+        assert score == pytest.approx(10.0)
+        assert unit.cache_hits == 10
+
+
+def test_decayed_zero_score_unit():
+    unit = HeatUnit()
+    assert unit.decayed(123.0, 10.0) == 0.0

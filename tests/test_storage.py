@@ -557,3 +557,221 @@ def test_empty_cache_spill_roundtrip(tmp_path):
     assert ExtractionCache().spill(store) == 0
     assert not store.has_cache_snapshot()
     assert ExtractionCache().restore(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# Plan cache × storage attachment (catalog schema epoch)
+# ---------------------------------------------------------------------------
+
+
+def _physical_node_types(db):
+    """Operator class names of the last physical plan, top-down."""
+    names = []
+    stack = [db.last_plan_physical]
+    while stack:
+        node = stack.pop()
+        names.append(type(node).__name__)
+        stack.extend(node.children())
+    return names
+
+
+def test_attach_mid_session_recompiles_cached_plans(tmp_path):
+    """A plan compiled before attach() must not keep serving in-memory
+    scans once a disk-backed PDiskScan becomes available: attach bumps
+    the catalog schema epoch, making every cached plan unreachable."""
+    db = _toy_database()
+    db.attach(tmp_path / "store")
+    db.checkpoint()
+
+    db2 = Database()
+    db2.execute("CREATE TABLE t (a BIGINT, b VARCHAR, PRIMARY KEY (a))")
+    sql = "SELECT a FROM t ORDER BY a"
+    assert db2.query(sql).row_count == 0  # compiled over the empty table
+    _res, report, _trace = db2.query_with_report(sql)
+    assert report.plan_cache_hit
+    assert "PTableScan" in _physical_node_types(db2)
+
+    db2.attach(tmp_path / "store")  # mid-session: t becomes disk-backed
+    result, report, _trace = db2.query_with_report(sql)
+    assert not report.plan_cache_hit  # recompiled, not served stale
+    assert "PDiskScan" in _physical_node_types(db2)
+    assert result.columns[0].to_pylist() == [1, 2, 3]
+    assert report.pages_read > 0
+
+
+def test_dml_detach_recompiles_cached_disk_plans(tmp_path):
+    """The reverse direction: DML materialises a disk-backed table (the
+    backing detaches), and the cached PDiskScan plan must be recompiled
+    rather than keep pointing at the dropped backing."""
+    db = _toy_database()
+    db.attach(tmp_path / "store")
+    db.checkpoint()
+
+    db2 = Database()
+    db2.attach(tmp_path / "store")
+    sql = "SELECT a FROM t ORDER BY a"
+    assert db2.query(sql).columns[0].to_pylist() == [1, 2, 3]
+    _res, report, _trace = db2.query_with_report(sql)
+    assert report.plan_cache_hit
+    assert "PDiskScan" in _physical_node_types(db2)
+
+    db2.execute("INSERT INTO t (a, b) VALUES (4, 'w')")
+    result, report, _trace = db2.query_with_report(sql)
+    assert not report.plan_cache_hit  # _invalidate_for dropped the plan
+    assert "PDiskScan" not in _physical_node_types(db2)
+    assert result.columns[0].to_pylist() == [1, 2, 3, 4]
+
+
+def test_checkpoint_keeps_resident_plans_valid(tmp_path):
+    """checkpoint() writes segments but leaves tables resident: cached
+    plans stay correct (and stay cached — no spurious recompile)."""
+    db = _toy_database()
+    db.attach(tmp_path / "store")
+    sql = "SELECT a FROM t ORDER BY a"
+    before = db.query(sql).columns[0].to_pylist()
+    db.checkpoint()
+    result, report, _trace = db.query_with_report(sql)
+    assert report.plan_cache_hit
+    assert result.columns[0].to_pylist() == before
+    assert "PTableScan" in _physical_node_types(db)
+
+
+# ---------------------------------------------------------------------------
+# Promoted segments in the store manifest
+# ---------------------------------------------------------------------------
+
+
+def _promoted_entries(n=3, rows=100):
+    return [
+        (f"f{i}.seed", i, 1000 + i,
+         {"sample_value": np.arange(rows, dtype=np.int64) + i,
+          "sample_time": np.arange(rows, dtype=np.int64) * 25_000})
+        for i in range(n)
+    ]
+
+
+def test_promoted_segment_roundtrip_across_reopen(tmp_path):
+    store = TableStore(tmp_path / "store")
+    segment, directory = store.save_promoted_segment(_promoted_entries())
+    assert len(directory) == 3
+    assert os.path.exists(os.path.join(store.root, segment))
+
+    reopened = TableStore(tmp_path / "store")
+    assert segment in reopened.promoted_segments()
+    from repro.storage.promoted import PromotedStore
+
+    promoted = PromotedStore(reopened)
+    assert len(promoted) == 3
+    served = promoted.fetch("f1.seed", 1, ["sample_value"], 1001)
+    assert served is not None
+    columns, pages_read = served
+    assert np.array_equal(columns["sample_value"],
+                          np.arange(100, dtype=np.int64) + 1)
+    assert pages_read > 0
+
+
+def test_promoted_fetch_misses(tmp_path):
+    from repro.storage.promoted import PromotedStore
+
+    store = TableStore(tmp_path / "store")
+    store.save_promoted_segment(_promoted_entries(1))
+    promoted = PromotedStore(store)
+    # Unknown unit / uncovered column / stale mtime all miss.
+    assert promoted.fetch("nope.seed", 0, ["sample_value"], 1000) is None
+    assert promoted.fetch("f0.seed", 0, ["other_col"], 1000) is None
+    assert promoted.fetch("f0.seed", 0, ["sample_value"], 9999) is None
+    assert ("f0.seed", 0) not in promoted  # the stale unit was dropped
+    assert promoted.stats.stale_drops == 1
+
+
+def test_promoted_segments_survive_unrelated_commits(tmp_path):
+    """The orphan sweep must treat promoted segments as live."""
+    db = _toy_database()
+    store = db.attach(tmp_path / "store")
+    segment, _ = store.save_promoted_segment(_promoted_entries(2))
+    db.checkpoint()  # commits + sweeps orphans
+    assert os.path.exists(os.path.join(store.root, segment))
+
+    store.drop_promoted_segment(segment)  # demotion sweeps the file
+    assert not os.path.exists(os.path.join(store.root, segment))
+    assert segment not in TableStore(tmp_path / "store").promoted_segments()
+
+
+def test_promoted_drop_segment_clears_index(tmp_path):
+    from repro.storage.promoted import PromotedStore
+
+    store = TableStore(tmp_path / "store")
+    promoted = PromotedStore(store)
+    segment = promoted.promote_batch(_promoted_entries(2))
+    assert len(promoted) == 2
+    assert promoted.drop_segment(segment) == 2
+    assert len(promoted) == 0
+    assert promoted.fetch("f0.seed", 0, ["sample_value"], 1000) is None
+
+
+def test_promote_batch_rejects_empty_and_repromotes(tmp_path):
+    from repro.storage.promoted import PromotedStore
+
+    store = TableStore(tmp_path / "store")
+    promoted = PromotedStore(store)
+    assert promoted.promote_batch([]) is None
+    first = promoted.promote_batch(_promoted_entries(1))
+    second = promoted.promote_batch(_promoted_entries(1))  # re-promotion
+    assert first != second
+    assert len(promoted) == 1  # the new copy won the index
+    assert promoted.unit("f0.seed", 0).segment == second
+
+
+# ---------------------------------------------------------------------------
+# Buffer pool: pinned-overcommit stress (ISSUE-5 satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_bufferpool_pinned_overcommit_randomized_stress():
+    """Randomized multi-thread pin/unpin where pinned pages alone exceed
+    the budget: no deadlock, pinned pages are never evicted (so never
+    double-evicted), and accounting returns to <= budget once pins drop.
+    """
+    import threading
+
+    pool = BufferPool(budget_bytes=4096)
+    n_keys = 40
+    sizes = {i: 256 + (i * 37) % 512 for i in range(n_keys)}
+    errors: list[BaseException] = []
+
+    def worker(worker_id: int) -> None:
+        rng = np.random.default_rng(worker_id)
+        held: list[tuple[str, int]] = []
+        try:
+            for _ in range(300):
+                key = ("seg", int(rng.integers(n_keys)))
+                page = pool.pin(key, lambda k=key: b"x" * sizes[k[1]])
+                held.append(key)
+                if len(page) != sizes[key[1]]:
+                    raise AssertionError("wrong page content served")
+                # A page we hold pinned must be resident right now —
+                # eviction (single or double) of pinned pages is a bug.
+                if key not in pool or pool.pin_count(key) <= 0:
+                    raise AssertionError("pinned page evicted")
+                while len(held) > int(rng.integers(1, 9)):
+                    pool.unpin(held.pop(int(rng.integers(len(held)))))
+        except BaseException as exc:  # surfaced to the main thread
+            errors.append(exc)
+        finally:
+            for key in held:
+                pool.unpin(key)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not any(t.is_alive() for t in threads), "stress test deadlocked"
+    assert not errors, errors
+
+    # Every pin dropped: the transient overcommit must have trimmed back,
+    # and the byte counter must agree exactly with the resident pages
+    # (double-eviction would corrupt it).
+    assert not pool._pins
+    assert pool.used_bytes <= pool.budget_bytes
+    assert pool.used_bytes == sum(len(p) for p in pool._pages.values())
