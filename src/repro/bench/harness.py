@@ -918,6 +918,97 @@ def run_e13(*, smoke: bool = False, rounds: int | None = None
         shutil.rmtree(store_path, ignore_errors=True)
 
 
+# ---------------------------------------------------------------------------
+# E15 — vectorised batch executor vs the row-at-a-time baseline
+# ---------------------------------------------------------------------------
+
+
+def run_e15(*, smoke: bool = False, repeats: int | None = None
+            ) -> ExperimentTable:
+    """Vectorised end-to-end execution vs the pre-vectorised row path.
+
+    Baseline: ``Database.query_rowpath`` — the tuple-at-a-time reference
+    interpreter (scalar expression evaluation, dict joins and grouping,
+    no recycler, no zone maps) — with the Steim decoder routed through
+    its scalar reference implementation.  Together they model the
+    pre-vectorised engine.  The vectorised side is the ordinary query
+    path: table-driven Steim decode, column-batch operators, zone-map
+    page skipping.
+
+    Workloads mirror the acceptance gates: E1's cold full-stream load
+    and the two filter-heavy Figure-1 queries (E2/E3).  Every pair runs
+    on fresh warehouses so both sides pay cold extraction; both sides'
+    results are cross-checked row for row before timing counts.
+
+    Acceptance (ISSUE 6): >= 5x on each workload.
+    """
+    from repro.mseed import steim
+
+    root, manifest = shared_demo_repo()
+    station = manifest.entries[0].station
+    channel = manifest.entries[0].channel
+    workloads = [
+        ("cold load, full stream (E1)", full_stream_query(station, channel)),
+        ("fig1 Q1 — STA window (E2)", fig1_query1()),
+        ("fig1 Q2 — min/max per station (E3)", fig1_query2()),
+    ]
+    n_repeats = repeats if repeats is not None else (1 if smoke else 2)
+
+    table = ExperimentTable(
+        "E15",
+        "vectorised batch executor vs row-at-a-time baseline (ISSUE 6)",
+        ["workload", "rowpath baseline", "vectorised", "speedup", "rows"],
+    )
+
+    def fresh() -> SeismicWarehouse:
+        # No recycler on either side: repeats must measure execution,
+        # not result caching.
+        return SeismicWarehouse(root, mode="lazy", enable_recycler=False)
+
+    speedups: list[float] = []
+    for label, sql in workloads:
+        base_s = vec_s = float("inf")
+        base_rows = vec_rows = None
+        for _ in range(n_repeats):
+            base_wh = fresh()
+            with steim.reference_decoding():
+                sample_s, (result, report, _trace) = _timed(
+                    lambda w=base_wh, s=sql: w.db.query_rowpath(s))
+            base_s = min(base_s, sample_s)
+            base_rows = result.rows()
+            vec_wh = fresh()
+            sample_s, result = _timed(lambda w=vec_wh, s=sql: w.query(s))
+            vec_s = min(vec_s, sample_s)
+            vec_rows = result.rows()
+        # The bench doubles as a coarse oracle: a speedup on wrong
+        # answers is worthless.
+        assert base_rows == vec_rows, f"row/batch divergence on {label!r}"
+        speedup = base_s / max(vec_s, 1e-9)
+        speedups.append(speedup)
+        table.add_row(label, format_duration(base_s),
+                      format_duration(vec_s), f"{speedup:.1f}x",
+                      len(vec_rows))
+
+    table.add_note(
+        "baseline = query_rowpath (tuple-at-a-time interpreter) with the "
+        "scalar reference Steim decoder — the pre-vectorised engine; "
+        "vectorised = batch executor with table-driven Steim decode and "
+        "zone maps.  Fresh warehouses per measurement: both sides pay "
+        "cold extraction."
+    )
+    table.add_note(
+        f"acceptance (ISSUE 6): >= 5x per workload; measured "
+        f"{', '.join(f'{s:.1f}x' for s in speedups)}."
+    )
+    # Machine-checkable acceptance values (BENCH_E15.json):
+    table.add_row(
+        "acceptance: cold-load / Q1 / Q2 speedups",
+        f"{speedups[0]:.2f}", f"{speedups[1]:.2f}", f"{speedups[2]:.2f}",
+        "-",
+    )
+    return table
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E1": run_e1,
     "E2": run_e2,
@@ -932,6 +1023,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E11": run_e11,
     "E12": run_e12,
     "E13": run_e13,
+    "E15": run_e15,
 }
 
 # Reduced-parameter variants for CI smoke runs; experiments not listed
@@ -943,4 +1035,5 @@ SMOKE_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E6": lambda: run_e6(modified_files=2),
     "E12": lambda: run_e12(smoke=True),
     "E13": lambda: run_e13(smoke=True),
+    "E15": lambda: run_e15(smoke=True),
 }

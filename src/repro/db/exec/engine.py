@@ -84,6 +84,9 @@ class QueryReport:
     # columns the query never touched.
     pages_read: int = 0
     pages_skipped: int = 0
+    # Pages of projected columns a zone map proved dead for the scan's
+    # pushed-down conjuncts (skipped before decode).
+    pages_skipped_zone: int = 0
     # Concurrent serving: rows this query's session extracted itself vs
     # rows it obtained by waiting on another session's in-flight
     # extraction (single-flight coalescing).
@@ -281,6 +284,7 @@ class StreamingQuery:
         report.operators_run = ctx.operators_run
         report.pages_read = ctx.pages_read
         report.pages_skipped = ctx.pages_skipped
+        report.pages_skipped_zone = ctx.pages_skipped_zone
         _fold_trace_counters(report, ctx.trace)
         self.rowcount = report.rows_out
         self.db.last_trace = ctx.trace
@@ -369,6 +373,50 @@ class Database:
         if kind != "select":
             raise SQLError("query_with_report() requires a SELECT statement")
         return self._execute_entry(payload, sql, params, report)
+
+    def query_rowpath(self, sql: str, params: ParamValues = None
+                      ) -> tuple[Result, QueryReport, list]:
+        """Execute a SELECT through the row-at-a-time reference interpreter.
+
+        Same compilation pipeline (and plan cache) as :meth:`query`, but
+        the physical plan is walked tuple-at-a-time by
+        :mod:`repro.db.exec.rowpath` instead of the vectorised operators.
+        This is the oracle half of the differential tests and the
+        baseline engine for bench E15; it never consults the recycler, so
+        repeated runs measure honest row-at-a-time cost.
+        """
+        from repro.db.exec import rowpath
+
+        kind, entry, report = self._compile_sql(sql)
+        if kind != "select":
+            raise SQLError("query_rowpath() requires a SELECT statement")
+        values = resolve_param_values(entry.spec, entry.bound_params, params)
+        ctx = ExecutionContext(oplog=self.oplog, recycler=None,
+                               zone_pruning=False)
+        self.oplog.record("query", "execute (rowpath)",
+                          sql=sql[:120].replace("\n", " "))
+        started = time.perf_counter()
+        with ex.active_params(values):
+            columns, n_rows = rowpath.execute_rowpath(
+                entry.physical, entry.optimized.output, ctx)
+        report.execute_s = time.perf_counter() - started
+        report.rows_out = n_rows
+        report.rows_extracted = ctx.rows_extracted
+        report.operators_run = ctx.operators_run
+        report.pages_read = ctx.pages_read
+        report.pages_skipped = ctx.pages_skipped
+        report.pages_skipped_zone = ctx.pages_skipped_zone
+        _fold_trace_counters(report, ctx.trace)
+        self.oplog.record(
+            "query", "done (rowpath)",
+            rows=n_rows,
+            seconds=round(report.execute_s, 4),
+            extracted=ctx.rows_extracted,
+        )
+        names = [c.name for c in entry.optimized.output]
+        result = Result(names, [columns[c.cid]
+                                for c in entry.optimized.output])
+        return result, report, ctx.trace
 
     def open_query(self, sql: str, params: ParamValues = None,
                    *, batch_rows: Optional[int] = None
@@ -510,6 +558,7 @@ class Database:
         report.operators_run = ctx.operators_run
         report.pages_read = ctx.pages_read
         report.pages_skipped = ctx.pages_skipped
+        report.pages_skipped_zone = ctx.pages_skipped_zone
         _fold_trace_counters(report, ctx.trace)
         self.last_trace = ctx.trace
         self.last_report = report

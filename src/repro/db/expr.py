@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -386,15 +387,24 @@ class Like(Expr):
         return [self.operand]
 
     def eval(self, frame: dict[int, Column], length: int) -> Column:
-        import re
-
         operand = self.operand.eval(frame, length)
-        regex = re.compile(_like_to_regex(self.pattern), re.DOTALL)
-        hits = np.fromiter(
-            (regex.fullmatch(str(v)) is not None for v in operand.values),
-            dtype=bool,
-            count=length,
-        )
+        regex = _like_regex(self.pattern)
+        if operand.dtype == DataType.VARCHAR and length:
+            # Dictionary-encoded match: run the regex once per distinct
+            # value, then broadcast the verdicts through the codes.
+            codes, uniques = operand.dictionary()
+            table = np.fromiter(
+                (regex.fullmatch(str(v)) is not None for v in uniques),
+                dtype=bool,
+                count=len(uniques),
+            )
+            hits = table[codes]
+        else:
+            hits = np.fromiter(
+                (regex.fullmatch(str(v)) is not None for v in operand.values),
+                dtype=bool,
+                count=length,
+            )
         if self.negated:
             hits = ~hits
         return Column(DataType.BOOLEAN, hits, operand.valid)
@@ -490,6 +500,13 @@ def _like_to_regex(pattern: str) -> str:
         else:
             out.append(re.escape(ch))
     return "".join(out)
+
+
+@functools.lru_cache(maxsize=256)
+def _like_regex(pattern: str):
+    import re
+
+    return re.compile(_like_to_regex(pattern), re.DOTALL)
 
 
 def _merge_valid(left: Column, right: Column) -> np.ndarray | None:
@@ -685,9 +702,18 @@ def _impl_nullif(cols: list[Column], length: int) -> Column:
 def _string_impl(fn: Callable[[str], object], result: DataType):
     def impl(cols: list[Column], length: int) -> Column:
         col = cols[0]
-        values = np.empty(length, dtype=object)
-        for i, v in enumerate(col.values):
-            values[i] = fn(str(v))
+        if col.dtype == DataType.VARCHAR and length:
+            # Apply the function once per distinct value and broadcast
+            # through the dictionary codes.
+            codes, uniques = col.dictionary()
+            mapped = np.empty(len(uniques), dtype=object)
+            for i, v in enumerate(uniques):
+                mapped[i] = fn(str(v))
+            values = mapped[codes]
+        else:
+            values = np.empty(length, dtype=object)
+            for i, v in enumerate(col.values):
+                values[i] = fn(str(v))
         if result != DataType.VARCHAR:
             values = values.astype(np.int64)
         return Column.from_numpy(result, values, col.valid)

@@ -78,6 +78,12 @@ class ExecutionContext:
     # pages whose columns the query never touched (lazy I/O savings).
     pages_read: int = 0
     pages_skipped: int = 0
+    # Pages of *projected* columns skipped because a zone map proved no
+    # row in them could satisfy a scan-level conjunct.
+    pages_skipped_zone: int = 0
+    # The rowpath reference interpreter turns this off so it stays an
+    # honest row-at-a-time baseline (no zone maps, no recycler).
+    zone_pruning: bool = True
     # Repository files this query's lazy fetches were derived from
     # (uri -> (repository, mtime_ns)); recycler admissions pin them so a
     # later file change can never be served from a cached intermediate.
@@ -101,6 +107,28 @@ def iter_chunk_slices(chunk: Chunk, batch_rows: int):
                      for cid, col in chunk.columns.items()},
             length=stop - start,
         )
+
+
+def _distinct_key(value):
+    """Hashable per-row key matching factorize semantics (NaNs collapse)."""
+    if isinstance(value, float) and value != value:
+        return ("<nan>",)
+    return value
+
+
+def _concat_chunks(chunks: list[Chunk], schema: list[lg.OutCol]) -> Chunk:
+    """Reassemble streamed batches into one chunk (pipeline breakers)."""
+    chunks = [c for c in chunks if c.length]
+    if not chunks:
+        return Chunk.empty(schema)
+    if len(chunks) == 1:
+        return chunks[0]
+    cids = list(chunks[0].columns)
+    return Chunk(
+        columns={cid: Column.concat([c.columns[cid] for c in chunks])
+                 for cid in cids},
+        length=sum(c.length for c in chunks),
+    )
 
 
 class PhysicalNode:
@@ -142,35 +170,47 @@ class PhysicalNode:
         """
         yield from iter_chunk_slices(self.execute(ctx), batch_rows)
 
+    def _recycler_lookup(self, ctx: ExecutionContext,
+                         signature: Optional[str]) -> Optional[Chunk]:
+        if signature is None:
+            return None
+        cached = ctx.recycler.lookup_validated(signature)
+        if cached is None:
+            return None
+        columns, length, depends = cached
+        # Propagate the hit's file dependencies: an enclosing
+        # recyclable node must pin them too, or a later admit
+        # above this hit would lose the staleness anchor.
+        ctx.file_deps.update(depends)
+        ctx.trace.append(
+            {"op": "recycler_hit", "node": type(self).__name__,
+             "signature": signature[:60]}
+        )
+        # Cached results are positional; re-key to this plan's cids.
+        return Chunk(
+            columns={c.cid: columns[i] for i, c in enumerate(self.schema)},
+            length=length,
+        )
+
+    def _recycler_admit(self, ctx: ExecutionContext,
+                        signature: Optional[str], chunk: Chunk) -> None:
+        if signature is None:
+            return
+        ctx.recycler.admit(
+            signature,
+            [chunk.columns[c.cid] for c in self.schema],
+            chunk.length,
+            depends=dict(ctx.file_deps) if ctx.file_deps else None,
+        )
+
     def execute(self, ctx: ExecutionContext) -> Chunk:
         ctx.operators_run += 1
         signature = self.signature if ctx.recycler is not None else None
-        if signature is not None:
-            cached = ctx.recycler.lookup_validated(signature)
-            if cached is not None:
-                columns, length, depends = cached
-                # Propagate the hit's file dependencies: an enclosing
-                # recyclable node must pin them too, or a later admit
-                # above this hit would lose the staleness anchor.
-                ctx.file_deps.update(depends)
-                ctx.trace.append(
-                    {"op": "recycler_hit", "node": type(self).__name__,
-                     "signature": signature[:60]}
-                )
-                # Cached results are positional; re-key to this plan's cids.
-                return Chunk(
-                    columns={c.cid: columns[i]
-                             for i, c in enumerate(self.schema)},
-                    length=length,
-                )
+        cached = self._recycler_lookup(ctx, signature)
+        if cached is not None:
+            return cached
         chunk = self._run(ctx)
-        if signature is not None:
-            ctx.recycler.admit(
-                signature,
-                [chunk.columns[c.cid] for c in self.schema],
-                chunk.length,
-                depends=dict(ctx.file_deps) if ctx.file_deps else None,
-            )
+        self._recycler_admit(ctx, signature, chunk)
         return chunk
 
     def _run(self, ctx: ExecutionContext) -> Chunk:
@@ -203,23 +243,28 @@ def _densify_codes(codes: np.ndarray) -> tuple[np.ndarray, int]:
 
 
 def _combined_codes(columns: list[Column]) -> np.ndarray:
-    """Factorize multi-column keys into one int64 code; NULL rows get -1."""
+    """Factorize multi-column grouping keys into one int64 code.
+
+    Unlike the join-side combiners, NULL here is an ordinary key value:
+    per column it maps to code 0 (every non-null code shifts up by one),
+    so ``(NULL, 1)`` and ``(NULL, 2)`` stay distinct groups and NULL
+    sorts first within each key column — SQL GROUP BY/DISTINCT treat
+    NULLs as equal to each other, not as match-nothing join keys.
+    """
     if not columns:
-        raise ExecutionError("join requires at least one key column")
+        raise ExecutionError("grouping requires at least one key column")
     combined: Optional[np.ndarray] = None
-    bound = 1
+    bound = 1  # max value currently representable in `combined`
     for col in columns:
         codes, count = col.factorize()
         if combined is None:
-            combined = codes.copy()
-            bound = count
+            combined = codes.astype(np.int64) + 1
+            bound = count + 1
         else:
-            if bound * (count + 1) >= _CODE_BOUND_LIMIT:
+            if bound * (count + 2) >= _CODE_BOUND_LIMIT:
                 combined, bound = _densify_codes(combined)
-            null_mask = (combined < 0) | (codes < 0)
-            combined = combined * (count + 1) + codes
-            combined[null_mask] = -1
-            bound = bound * (count + 1) + count
+            combined = combined * (count + 2) + (codes + 1)
+            bound = bound * (count + 2) + count + 1
     assert combined is not None
     return combined
 
@@ -383,6 +428,87 @@ class PTableScan(PhysicalNode):
             )
 
 
+# -- zone-map page pruning ---------------------------------------------------
+
+_ZONE_DTYPES = (DataType.BIGINT, DataType.DOUBLE, DataType.TIMESTAMP)
+
+# Normalising `constant <cmp> column` to `column <cmp'> constant`.
+_PRUNE_FLIP = {"=": "=", "!=": "!=", "<>": "<>",
+               "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _prune_constant(node: ex.Expr) -> bool:
+    if isinstance(node, (ex.Literal, ex.Param)):
+        return True
+    # Negative literals parse as unary minus over a literal.
+    return (isinstance(node, ex.UnOp) and node.op == "-"
+            and isinstance(node.operand, ex.Literal))
+
+
+def prunable_conjuncts(predicate: ex.Expr,
+                       schema: list[lg.OutCol]) -> list[tuple]:
+    """``(col, op, value_expr)`` triples a zone map can evaluate.
+
+    Only top-level AND conjuncts of the shape ``column <cmp> constant``
+    (plus BETWEEN over constants) qualify, and only for numeric columns
+    of the scan.  The filter above keeps the *full* predicate, so this
+    extraction may be as partial as it likes — pruning must merely be
+    sound, never complete.
+    """
+    by_cid = {c.cid: c for c in schema if c.dtype in _ZONE_DTYPES}
+    out: list[tuple] = []
+    stack = [predicate]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ex.BinOp) and node.op == "and":
+            stack.extend((node.left, node.right))
+            continue
+        if (isinstance(node, ex.Between) and not node.negated
+                and isinstance(node.operand, ex.BoundRef)
+                and node.operand.cid in by_cid):
+            for op, bound in ((">=", node.low), ("<=", node.high)):
+                if _prune_constant(bound):
+                    out.append((by_cid[node.operand.cid], op, bound))
+            continue
+        if isinstance(node, ex.BinOp) and node.op in _PRUNE_FLIP:
+            left, right, op = node.left, node.right, node.op
+            if _prune_constant(left) and isinstance(right, ex.BoundRef):
+                left, right, op = right, left, _PRUNE_FLIP[op]
+            if (isinstance(left, ex.BoundRef) and left.cid in by_cid
+                    and _prune_constant(right)):
+                out.append((by_cid[left.cid], op, right))
+    return out
+
+
+def _zone_dead(zone: "tuple | None", op: str, value) -> bool:
+    """True when no row of a page with this zone can satisfy the conjunct.
+
+    NULL/NaN constants fail (or yield NULL for) every comparison, so
+    they condemn every page; a ``None`` zone means the page holds no
+    valid comparable value, so every row fails the conjunct too.
+    """
+    if value is None or (isinstance(value, float) and value != value):
+        return True
+    if zone is None:
+        return True
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False  # shouldn't happen (dtype-gated), stay sound
+    lo, hi = zone
+    if op == "=":
+        return value < lo or value > hi
+    if op in ("!=", "<>"):
+        return lo == hi == value
+    if op == "<":
+        return lo >= value
+    if op == "<=":
+        return lo > value
+    if op == ">":
+        return hi <= value
+    if op == ">=":
+        return hi < value
+    return False
+
+
 class PDiskScan(PhysicalNode):
     """Scan a disk-backed table, faulting in only the needed columns.
 
@@ -391,12 +517,22 @@ class PDiskScan(PhysicalNode):
     projects are read (through the store's buffer pool).  Pages of
     untouched columns never leave disk; the counters surface exactly that
     in EXPLAIN and the query report.
+
+    When the filter directly above holds ``column <cmp> constant``
+    conjuncts over numeric columns, the planner pushes them down here as
+    ``prune_conjuncts``: pages whose footer zone map proves no row can
+    qualify are skipped before decode.  Pruning is optimisation-only —
+    the filter retains the full predicate, so an over-conservative (or
+    absent) zone map costs nothing but I/O.
     """
 
     def __init__(self, node: lg.LScan) -> None:
         super().__init__(node.output)
         self.table = node.table
         self.qualified_name = node.qualified_name
+        # (col, op, value_expr) triples installed by build_physical when
+        # a filter sits directly above this scan.
+        self.prune_conjuncts: list[tuple] = []
 
     def describe(self) -> str:
         cols = ", ".join(c.name for c in self.schema)
@@ -405,9 +541,51 @@ class PDiskScan(PhysicalNode):
             needed = sum(backing.pages_of(c.name) for c in self.schema)
             total = backing.total_pages()
             pages = f" pages={needed}/{total} (skip {total - needed})"
+            pages += self._describe_zones(backing)
         else:  # the table was materialised between compile and describe
             pages = ""
         return f"DiskScan {self.qualified_name} [{cols}]{pages}"
+
+    def _describe_zones(self, backing) -> str:
+        if not self.prune_conjuncts:
+            return ""
+        conjuncts = ", ".join(
+            f"{col.name} {op} "
+            + (repr(value.value) if isinstance(value, ex.Literal) else "?")
+            for col, op, value in self.prune_conjuncts
+        )
+        try:  # unbound Params make the dead-page count unknowable here
+            dead = self._dead_pages(backing)
+            n_pages = len(backing.page_row_counts(self.schema[0].name))
+            count = f" skip {len(dead)}/{n_pages} pages/col"
+        except Exception:
+            count = ""
+        return f" zone-prune[{conjuncts}]{count}"
+
+    def _dead_pages(self, backing) -> set[int]:
+        """Page indices no projected row can come from, per zone maps."""
+        dead: set[int] = set()
+        for col, op, value_expr in self.prune_conjuncts:
+            zones = backing.zone_map(col.name)
+            if zones is None:
+                continue
+            value = value_expr.eval({}, 1).value_at(0)
+            for page, zone in enumerate(zones):
+                if _zone_dead(zone, op, value):
+                    dead.add(page)
+        return dead
+
+    def _page_offsets(self, backing) -> "tuple[list[int], list[int]]":
+        """(row counts, row start offsets) of this table's page grid.
+
+        Table segments are uniform (every column paginated identically),
+        so any projected column describes the shared layout.
+        """
+        counts = backing.page_row_counts(self.schema[0].name)
+        offsets = [0]
+        for count in counts:
+            offsets.append(offsets[-1] + count)
+        return counts, offsets
 
     def _run(self, ctx: ExecutionContext) -> Chunk:
         backing = self.table.disk_backing
@@ -415,6 +593,11 @@ class PDiskScan(PhysicalNode):
             # Mutated since planning: fall back to the resident columns.
             columns = {c.cid: self.table.column(c.name) for c in self.schema}
             return Chunk(columns=columns, length=self.table.row_count)
+        dead = (self._dead_pages(backing)
+                if ctx.zone_pruning and self.prune_conjuncts and self.schema
+                else set())
+        if dead:
+            return self._run_pruned(ctx, backing, dead)
         pool_stats = backing.store.pool.stats
         reads_before = pool_stats.disk_reads
         columns: dict[int, Column] = {}
@@ -439,6 +622,110 @@ class PDiskScan(PhysicalNode):
             pages_read=pages_read, pages_skipped=pages_skipped,
         )
         return Chunk(columns=columns, length=backing.row_count)
+
+    def _run_pruned(self, ctx: ExecutionContext, backing,
+                    dead: set[int]) -> Chunk:
+        """Read only pages the zone maps could not condemn.
+
+        Bypasses the table's column-fault cache on purpose: a partial
+        column must never become the table's resident copy.  Columns
+        already resident are sliced to the same page subset so rows stay
+        aligned.
+        """
+        from repro.storage.segment import IOCounter
+
+        counts, offsets = self._page_offsets(backing)
+        keep = [i for i in range(len(counts)) if i not in dead]
+        io = IOCounter()
+        columns: dict[int, Column] = {}
+        zone_skipped = 0
+        for c in self.schema:
+            if self.table.is_column_resident(c.name):
+                full = self.table.column(c.name)
+                parts = [full.slice(offsets[i], offsets[i + 1]) for i in keep]
+                columns[c.cid] = (Column.concat(parts) if len(parts) > 1
+                                  else parts[0] if parts
+                                  else full.slice(0, 0))
+            else:
+                columns[c.cid] = backing.load_column_pages(c.name, keep, io)
+                zone_skipped += len(dead)
+        length = sum(counts[i] for i in keep)
+        pages_skipped = backing.total_pages() - sum(
+            backing.pages_of(c.name) for c in self.schema)
+        ctx.pages_read += io.disk_reads
+        ctx.pages_skipped += pages_skipped
+        ctx.pages_skipped_zone += zone_skipped
+        ctx.trace.append({
+            "op": "disk_scan",
+            "table": self.qualified_name,
+            "columns": [c.name for c in self.schema],
+            "pages_read": io.disk_reads,
+            "pages_skipped": pages_skipped,
+            "pages_skipped_zone": zone_skipped,
+            "zone_dead_pages": len(dead),
+        })
+        ctx.oplog.record(
+            "scan", f"disk scan {self.qualified_name} (zone-pruned)",
+            rows=length, of=backing.row_count, columns=len(self.schema),
+            pages_read=io.disk_reads, pages_skipped=pages_skipped,
+            pages_skipped_zone=zone_skipped,
+        )
+        return Chunk(columns=columns, length=length)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        backing = self.table.disk_backing
+        if backing is None or not self.schema:
+            yield from super().execute_batches(ctx, batch_rows)
+            return
+        ctx.operators_run += 1
+        from repro.storage.segment import IOCounter
+
+        dead = (self._dead_pages(backing)
+                if ctx.zone_pruning and self.prune_conjuncts else set())
+        counts, offsets = self._page_offsets(backing)
+        resident = {c.cid: self.table.column(c.name) for c in self.schema
+                    if self.table.is_column_resident(c.name)}
+        io = IOCounter()
+        streamed = 0
+        zone_skipped = 0
+        try:
+            for page in range(len(counts)):
+                if page in dead:
+                    zone_skipped += len(self.schema) - len(resident)
+                    continue
+                start, stop = offsets[page], offsets[page + 1]
+                cols = {
+                    c.cid: (resident[c.cid].slice(start, stop)
+                            if c.cid in resident
+                            else backing.load_column_pages(c.name, [page], io))
+                    for c in self.schema
+                }
+                chunk = Chunk(columns=cols, length=stop - start)
+                streamed += chunk.length
+                yield from iter_chunk_slices(chunk, batch_rows)
+        finally:
+            pages_skipped = backing.total_pages() - sum(
+                backing.pages_of(c.name) for c in self.schema)
+            ctx.pages_read += io.disk_reads
+            ctx.pages_skipped += pages_skipped
+            ctx.pages_skipped_zone += zone_skipped
+            ctx.trace.append({
+                "op": "disk_scan",
+                "table": self.qualified_name,
+                "columns": [c.name for c in self.schema],
+                "pages_read": io.disk_reads,
+                "pages_skipped": pages_skipped,
+                "pages_skipped_zone": zone_skipped,
+                "zone_dead_pages": len(dead),
+            })
+            ctx.oplog.record(
+                "scan", f"disk scan {self.qualified_name} (streamed)",
+                rows=streamed, of=backing.row_count,
+                columns=len(self.schema),
+                pages_read=io.disk_reads, pages_skipped=pages_skipped,
+                pages_skipped_zone=zone_skipped,
+            )
 
 
 class PScanAll(PhysicalNode):
@@ -550,8 +837,7 @@ class PSort(PhysicalNode):
         parts = [f"{k!r} {'ASC' if asc else 'DESC'}" for k, asc in self.keys]
         return f"Sort [{', '.join(parts)}]"
 
-    def _run(self, ctx: ExecutionContext) -> Chunk:
-        chunk = self.child.execute(ctx)
+    def _sorted(self, chunk: Chunk) -> Chunk:
         if chunk.length <= 1:
             return chunk
         lexsort_keys: list[np.ndarray] = []
@@ -572,6 +858,19 @@ class PSort(PhysicalNode):
         # with (null_rank, values) pairs, so reverse it wholesale.
         order = np.lexsort(tuple(reversed(lexsort_keys)))
         return chunk.take(order)
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        return self._sorted(self.child.execute(ctx))
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        # Sort is a pipeline breaker, but its *input* still streams: child
+        # batches accumulate (the natural spill point), are sorted once,
+        # and the output re-streams in batch_rows slices.
+        ctx.operators_run += 1
+        chunks = list(self.child.execute_batches(ctx, batch_rows))
+        merged = _concat_chunks(chunks, self.child.schema)
+        yield from iter_chunk_slices(self._sorted(merged), batch_rows)
 
 
 class PLimit(PhysicalNode):
@@ -602,6 +901,9 @@ class PLimit(PhysicalNode):
         ctx.operators_run += 1
         to_skip = self.offset
         remaining = self.limit  # None = unbounded
+        if remaining is not None and remaining <= 0:
+            # LIMIT 0 must not pull (and thus extract) a single child batch.
+            return
         for chunk in self.child.execute_batches(ctx, batch_rows):
             if to_skip:
                 if chunk.length <= to_skip:
@@ -645,6 +947,34 @@ class PDistinct(PhysicalNode):
         codes = _combined_codes([chunk.columns[c.cid] for c in self.schema])
         _uniques, first = np.unique(codes, return_index=True)
         return chunk.take(np.sort(first))
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        # Streaming first-occurrence dedup: each batch is first collapsed
+        # vectorised (codes are batch-local), then the handful of batch
+        # survivors is checked against the distinct rows seen so far.
+        # Emission order — first global occurrence — matches _run exactly.
+        ctx.operators_run += 1
+        seen: set = set()
+        for chunk in self.child.execute_batches(ctx, batch_rows):
+            if chunk.length == 0:
+                continue
+            cols = [chunk.columns[c.cid] for c in self.schema]
+            codes = _combined_codes(cols)
+            _uniques, first = np.unique(codes, return_index=True)
+            local = chunk.take(np.sort(first))
+            local_cols = [local.columns[c.cid] for c in self.schema]
+            fresh = np.zeros(local.length, dtype=bool)
+            for i in range(local.length):
+                key = tuple(_distinct_key(col.value_at(i))
+                            for col in local_cols)
+                if key not in seen:
+                    seen.add(key)
+                    fresh[i] = True
+            if fresh.all():
+                yield local
+            elif fresh.any():
+                yield local.filter(fresh)
 
 
 # ---------------------------------------------------------------------------
@@ -724,6 +1054,63 @@ class PJoin(PhysicalNode):
             columns[cid] = col.take(right_idx)
         return Chunk(columns=columns, length=len(left_idx))
 
+    def _probe_batch(self, batch: Chunk, right: Chunk
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """Match one left batch against the materialised build side."""
+        if self.left_keys:
+            left_cols = [batch.columns[cid] for cid in self.left_keys]
+            right_cols = [right.columns[cid] for cid in self.right_keys]
+            left_idx, right_idx, _counts = join_indices(left_cols, right_cols)
+        else:
+            left_idx = np.repeat(np.arange(batch.length), right.length)
+            right_idx = np.tile(np.arange(right.length), batch.length)
+        if self.residual is not None and len(left_idx):
+            frame = {}
+            for cid, col in batch.columns.items():
+                frame[cid] = col.take(left_idx)
+            for cid, col in right.columns.items():
+                frame[cid] = col.take(right_idx)
+            mask = ex.predicate_mask(
+                self.residual.eval(frame, len(left_idx))
+            )
+            left_idx = left_idx[mask]
+            right_idx = right_idx[mask]
+        return left_idx, right_idx
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        # Streamed hash join: materialise the (metadata-sized) build side
+        # once, probe with each left batch as it arrives.  Inner/cross
+        # matches flow straight through; a left join holds back only its
+        # unmatched rows, emitting the NULL-padded tail last — the same
+        # global row order _run produces.
+        ctx.operators_run += 1
+        right = self.right.execute(ctx)
+        unmatched: list[Chunk] = []
+        for batch in self.left.execute_batches(ctx, batch_rows):
+            left_idx, right_idx = self._probe_batch(batch, right)
+            if self.kind == "left":
+                matched = np.zeros(batch.length, dtype=bool)
+                if len(left_idx):
+                    matched[left_idx] = True
+                if not matched.all():
+                    unmatched.append(batch.filter(~matched))
+            if not len(left_idx):
+                continue
+            columns = {cid: col.take(left_idx)
+                       for cid, col in batch.columns.items()}
+            for cid, col in right.columns.items():
+                columns[cid] = col.take(right_idx)
+            yield from iter_chunk_slices(
+                Chunk(columns=columns, length=len(left_idx)), batch_rows)
+        if self.kind == "left" and unmatched:
+            tail = _concat_chunks(unmatched, self.left.schema)
+            columns = dict(tail.columns)
+            for cid, col in right.columns.items():
+                columns[cid] = Column.nulls(col.dtype, tail.length)
+            yield from iter_chunk_slices(
+                Chunk(columns=columns, length=tail.length), batch_rows)
+
 
 # ---------------------------------------------------------------------------
 # Aggregation
@@ -762,7 +1149,29 @@ class PAggregate(PhysicalNode):
         return f"Aggregate groups=[{groups}] aggs=[{aggs}]"
 
     def _run(self, ctx: ExecutionContext) -> Chunk:
-        chunk = self.child.execute(ctx)
+        return self._aggregate_chunk(self.child.execute(ctx))
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        # The aggregate itself is a pipeline breaker, but its input
+        # streams: child batches accumulate and the exact _run kernels
+        # finalise once, so the streamed result is bit-identical to the
+        # materialised one (float reductions are order-sensitive).
+        # Recycler lookup/admit must still happen here — this operator is
+        # a signature point for cross-query reuse.
+        ctx.operators_run += 1
+        signature = self.signature if ctx.recycler is not None else None
+        cached = self._recycler_lookup(ctx, signature)
+        if cached is not None:
+            yield from iter_chunk_slices(cached, batch_rows)
+            return
+        chunks = list(self.child.execute_batches(ctx, batch_rows))
+        result = self._aggregate_chunk(
+            _concat_chunks(chunks, self.child.schema))
+        self._recycler_admit(ctx, signature, result)
+        yield from iter_chunk_slices(result, batch_rows)
+
+    def _aggregate_chunk(self, chunk: Chunk) -> Chunk:
         length = chunk.length
 
         if not self.group_exprs and length == 0:
@@ -1057,7 +1466,14 @@ def build_physical(node: lg.LogicalNode,
     if isinstance(node, lg.LScanAll):
         return PScanAll(node)
     if isinstance(node, lg.LFilter):
-        return PFilter(node, build_physical(node.child, recycler))
+        child = build_physical(node.child, recycler)
+        if isinstance(child, PDiskScan):
+            # Push zone-map prunable conjuncts into the scan.  The
+            # filter keeps the full predicate: pruning stays
+            # optimisation-only.
+            child.prune_conjuncts = prunable_conjuncts(
+                node.predicate, child.schema)
+        return PFilter(node, child)
     if isinstance(node, lg.LProject):
         return PProject(node, build_physical(node.child, recycler))
     if isinstance(node, lg.LSort):

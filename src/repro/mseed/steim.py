@@ -35,6 +35,8 @@ reconstruction.  Decoding verifies the reverse integration constant.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.errors import SteimError
@@ -244,8 +246,11 @@ def _class_table(level: int, flat_words: np.ndarray,
     return classes
 
 
-def _decode(data: bytes, nsamples: int, level: int, *,
-            check_integration: bool = True) -> np.ndarray:
+def _decode_reference(data: bytes, nsamples: int, level: int, *,
+                      check_integration: bool = True) -> np.ndarray:
+    """The pre-vectorised decoder, kept bit-for-bit as the differential
+    oracle's reference: the table-driven ``_decode`` below must agree with
+    this implementation on every payload."""
     if nsamples == 0:
         return np.zeros(0, dtype=np.int32)
     frames, nibbles = _decode_words(data)
@@ -297,13 +302,120 @@ def _decode(data: bytes, nsamples: int, level: int, *,
     return series.astype(np.int32)
 
 
+def _build_unpack_table(level: int):
+    """Precompute whole-stream unpack LUTs, indexed by a per-word class key
+    (the nibble for Steim-1; ``nibble * 4 + dnib`` for Steim-2, with nibbles
+    0/1 collapsed to 0/1 since their payload carries no dnib):
+
+    * ``counts[key]``   — differences per word (-1 marks an invalid dnib);
+    * ``shifts[key]``   — right-shift per difference slot, zero padded;
+    * ``masks[key]``    — payload mask per difference slot (0 pads);
+    * ``signs[key]``    — sign bit per slot, as wrapping int32.
+
+    Decoding gathers these per word, so the entire payload unpacks with a
+    handful of array ops and no per-class Python loop.
+    """
+    classes = _STEIM1_CLASSES if level == 1 else _STEIM2_CLASSES
+    n_keys = 4 if level == 1 else 16
+    width = max(count for _, _, count, _ in classes)
+    counts = np.full(n_keys, -1, dtype=np.int64)
+    shifts = np.zeros((n_keys, width), dtype=np.uint32)
+    masks = np.zeros((n_keys, width), dtype=np.uint32)
+    signs = np.zeros((n_keys, width), dtype=np.uint32)
+    counts[0] = 0
+    for nibble, dnib, count, bits in classes:
+        key = nibble if level == 1 or nibble == 1 else nibble * 4 + dnib
+        counts[key] = count
+        shifts[key, :count] = np.arange(count - 1, -1, -1, dtype=np.uint32) * bits
+        masks[key, :count] = (1 << bits) - 1
+        signs[key, :count] = 1 << (bits - 1)
+    return counts, shifts, masks, signs.view(np.int32), width
+
+
+_UNPACK_TABLES = {1: _build_unpack_table(1), 2: _build_unpack_table(2)}
+
+
+def _decode(data: bytes, nsamples: int, level: int, *,
+            check_integration: bool = True) -> np.ndarray:
+    """Table-driven decode: classify every word by a precomputed
+    (nibble, dnib) key, gather per-slot shift/mask/sign vectors from the
+    unpack LUTs, and extract all differences with one broadcast
+    shift-and-mask plus a row-major boolean compress — no per-difference
+    Python loop and no scatter."""
+    if nsamples == 0:
+        return np.zeros(0, dtype=np.int32)
+    frames, nibbles = _decode_words(data)
+    if frames.shape[0] == 0:
+        raise SteimError("empty Steim payload for nonzero sample count")
+    x0 = int(np.int32(frames[0, 1]))
+    xn = int(np.int32(frames[0, 2]))
+
+    flat_words = frames.reshape(-1)
+    flat_nibs = nibbles.reshape(-1).astype(np.int64)
+    flat_nibs[::WORDS_PER_FRAME] = 0  # word 0 is the header
+    flat_nibs[1:3] = 0  # X0 / XN in frame 0
+
+    if level == 1:
+        keys = flat_nibs
+    else:
+        dnib = ((flat_words >> np.uint32(30)) & np.uint32(3)).astype(np.int64)
+        keys = np.where(flat_nibs <= 1, flat_nibs, flat_nibs * 4 + dnib)
+    count_lut, shift_lut, mask_lut, sign_lut, _width = _UNPACK_TABLES[level]
+    counts = count_lut[keys]
+    if counts.min() < 0:
+        raise SteimError("invalid Steim-2 dnib combination")
+    produced = int(counts.sum())
+    if produced < nsamples:
+        raise SteimError(
+            f"Steim payload ended early: {produced} of {nsamples} samples"
+        )
+    # Unpack every slot of every word at once; two's-complement sign
+    # extension via the XOR trick on wrapping int32, then keep only the
+    # occupied slots (row-major order == stream order).
+    signs = sign_lut[keys]
+    fields = ((flat_words[:, None] >> shift_lut[keys]) & mask_lut[keys]).view(np.int32)
+    signed = (fields ^ signs) - signs
+    occupied = mask_lut[keys] != 0
+    flat = signed[occupied]
+    series = np.empty(nsamples, dtype=np.int64)
+    series[0] = x0
+    if nsamples > 1:
+        np.cumsum(flat[1:nsamples].astype(np.int64), out=series[1:])
+        series[1:] += x0
+    if check_integration and int(series[-1]) != xn:
+        raise SteimError(
+            f"reverse integration constant mismatch: got {int(series[-1])}, "
+            f"expected {xn}"
+        )
+    return series.astype(np.int32)
+
+
+_USE_REFERENCE = False
+
+
+@contextmanager
+def reference_decoding():
+    """Route ``decode_steim1/2`` through ``_decode_reference`` — used by the
+    differential oracle and by bench baselines that model the pre-vectorised
+    extraction path."""
+    global _USE_REFERENCE
+    previous = _USE_REFERENCE
+    _USE_REFERENCE = True
+    try:
+        yield
+    finally:
+        _USE_REFERENCE = previous
+
+
 def decode_steim1(data: bytes, nsamples: int, *,
                   check_integration: bool = True) -> np.ndarray:
     """Decode ``nsamples`` samples from a Steim-1 payload."""
-    return _decode(data, nsamples, 1, check_integration=check_integration)
+    decoder = _decode_reference if _USE_REFERENCE else _decode
+    return decoder(data, nsamples, 1, check_integration=check_integration)
 
 
 def decode_steim2(data: bytes, nsamples: int, *,
                   check_integration: bool = True) -> np.ndarray:
     """Decode ``nsamples`` samples from a Steim-2 payload."""
-    return _decode(data, nsamples, 2, check_integration=check_integration)
+    decoder = _decode_reference if _USE_REFERENCE else _decode
+    return decoder(data, nsamples, 2, check_integration=check_integration)

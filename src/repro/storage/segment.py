@@ -13,6 +13,14 @@ fetches pages *through the buffer pool* only when a query actually needs
 that column — the same lazy principle the ETL layer applies to files,
 extended to I/O: a scan projecting 1 of N columns reads 1/N of the pages.
 
+Numeric columns additionally carry a *zone map*: per page, the min/max
+over its valid (non-NULL, non-NaN) values, or ``null`` for a page with
+none.  A scan holding a ``column <cmp> constant`` conjunct can prove a
+page can contain no qualifying row and skip decoding it entirely (see
+``PDiskScan``).  Zone entries are advisory — a reader that ignores them
+just reads every page, and segments written before zone maps existed
+simply have no ``zones`` key.
+
 Writers build a temporary file and commit with ``os.replace`` so a crash
 mid-write never leaves a half-segment at the final path.
 """
@@ -26,6 +34,8 @@ import struct
 import zlib
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.db.column import Column
 from repro.errors import CorruptSegmentError, StorageError
 from repro.storage import format as fmt
@@ -36,6 +46,28 @@ PAGE_ROWS = 16384
 that page headers are noise."""
 
 _HEADER = struct.Struct("<6sH")
+
+_ZONED_DTYPES = ("bigint", "double", "timestamp")
+"""Column dtypes that get per-page min/max zone maps."""
+
+
+def _page_zone(column: Column) -> "list | None":
+    """Min/max of one page's valid, non-NaN values (``None`` if empty).
+
+    NaN is excluded on purpose: a NaN row fails every ``<cmp> constant``
+    conjunct, so it can never rescue a page the finite bounds condemn.
+    """
+    values = column.values
+    valid = column.validity()
+    if np.issubdtype(values.dtype, np.floating):
+        valid = valid & ~np.isnan(values)
+    if not valid.any():
+        return None
+    kept = values[valid]
+    lo, hi = kept.min(), kept.max()
+    if np.issubdtype(values.dtype, np.floating):
+        return [float(lo), float(hi)]
+    return [int(lo), int(hi)]
 
 
 @dataclass(frozen=True)
@@ -59,6 +91,7 @@ class SegmentWriter:
                                         fmt.SEGMENT_VERSION))
         self._directory: dict[str, list[PageSlot]] = {}
         self._dtypes: dict[str, str] = {}
+        self._zones: dict[str, list] = {}
         # Table segments require aligned columns; cache snapshots store
         # one run per cached record, so their lengths legitimately vary.
         self._uniform = uniform
@@ -80,6 +113,9 @@ class SegmentWriter:
                 f"column {name!r} has {len(column)} rows, "
                 f"segment has {self._row_count}"
             )
+        dtype_name = fmt.dtype_name(column.dtype)
+        zoned = dtype_name in _ZONED_DTYPES
+        zones: list = []
         slots: list[PageSlot] = []
         for start in range(0, max(len(column), 1), page_rows):
             chunk = column.slice(start, min(start + page_rows, len(column)))
@@ -88,8 +124,12 @@ class SegmentWriter:
             self._handle.write(raw)
             slots.append(PageSlot(offset, len(raw), len(chunk)))
             self._raw_bytes += len(raw)
+            if zoned:
+                zones.append(_page_zone(chunk) if len(chunk) else None)
         self._directory[name] = slots
-        self._dtypes[name] = fmt.dtype_name(column.dtype)
+        self._dtypes[name] = dtype_name
+        if zoned:
+            self._zones[name] = zones
 
     def finish(self) -> dict:
         """Write the footer, fsync, and atomically publish the segment."""
@@ -102,6 +142,8 @@ class SegmentWriter:
                     "dtype": self._dtypes[name],
                     "pages": [[s.offset, s.length, s.row_count]
                               for s in slots],
+                    **({"zones": self._zones[name]}
+                       if name in self._zones else {}),
                 }
                 for name, slots in self._directory.items()
             },
@@ -160,6 +202,7 @@ class SegmentReader:
             raise CorruptSegmentError(f"segment {self.path} is empty")
         self._directory: dict[str, list[PageSlot]] = {}
         self._dtypes: dict[str, str] = {}
+        self._zones: dict[str, list] = {}
         self.row_count = 0
         self._parse_footer()
 
@@ -196,6 +239,11 @@ class SegmentReader:
                 PageSlot(int(o), int(l), int(r)) for o, l, r in info["pages"]
             ]
             self._dtypes[name] = info["dtype"]
+            if "zones" in info:
+                self._zones[name] = [
+                    None if z is None else (z[0], z[1])
+                    for z in info["zones"]
+                ]
 
     def column_names(self) -> list[str]:
         return list(self._directory)
@@ -206,6 +254,16 @@ class SegmentReader:
     def pages_of(self, name: str) -> int:
         """Number of pages backing one column."""
         return len(self._directory.get(name, ()))
+
+    def page_row_counts(self, name: str) -> list[int]:
+        """Row count of each page of one column, in page order."""
+        return [s.row_count for s in self._directory.get(name, ())]
+
+    def zone_map(self, name: str) -> "list | None":
+        """Per-page ``(min, max)`` tuples (``None`` entries mark pages
+        with no valid comparable value), or ``None`` when the column has
+        no zone map (non-numeric, or written before zone maps)."""
+        return self._zones.get(name)
 
     def total_pages(self) -> int:
         return sum(len(slots) for slots in self._directory.values())
@@ -235,7 +293,27 @@ class SegmentReader:
             raise StorageError(
                 f"segment {self.path} has no column {name!r}"
             )
+        return self._decode_pages(name, slots, io)
 
+    def read_column_pages(self, name: str, pages: "list[int]",
+                          io: "IOCounter | None" = None) -> Column:
+        """Materialise only the given page indices of one column.
+
+        The zone-pruned scan path: pages a zone map proved dead are
+        never pinned, never decoded, and never counted as reads.  The
+        result is the concatenation of the surviving pages in page
+        order — callers are responsible for applying the *same* page
+        subset to every column they read, keeping rows aligned.
+        """
+        slots = self._directory.get(name)
+        if slots is None:
+            raise StorageError(
+                f"segment {self.path} has no column {name!r}"
+            )
+        return self._decode_pages(name, [slots[i] for i in pages], io)
+
+    def _decode_pages(self, name: str, slots: "list[PageSlot]",
+                      io: "IOCounter | None") -> Column:
         def load(slot: PageSlot) -> bytes:
             raw = self._load_slot(slot)
             if io is not None:

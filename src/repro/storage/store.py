@@ -104,8 +104,18 @@ class TableBacking:
     def load_column(self, name: str) -> Column:
         return self.reader.read_column(name)
 
+    def load_column_pages(self, name: str, pages: list[int],
+                          io=None) -> Column:
+        return self.reader.read_column_pages(name, pages, io)
+
     def pages_of(self, name: str) -> int:
         return self.reader.pages_of(name)
+
+    def page_row_counts(self, name: str) -> list[int]:
+        return self.reader.page_row_counts(name)
+
+    def zone_map(self, name: str):
+        return self.reader.zone_map(name)
 
     def total_pages(self) -> int:
         return self.reader.total_pages()

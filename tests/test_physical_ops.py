@@ -99,20 +99,25 @@ def test_multikey_join_matches_nested_loop(left_rows, right_rows):
     assert got == expected
 
 
-def test_combined_codes_null_propagation():
+def test_combined_codes_null_is_a_group_key():
+    """GROUP BY semantics: NULL is one key value, not a match-nothing
+    sink — (NULL,'a') and (1,NULL) must stay distinct groups while the
+    two (NULL,'a') rows share one."""
     codes = _combined_codes([
-        _bigint([1, None, 1]),
-        _varchar(["a", "a", None]),
+        _bigint([1, None, 1, None]),
+        _varchar(["a", "a", None, "a"]),
     ])
-    assert codes[1] == -1 and codes[2] == -1
-    assert codes[0] >= 0
+    assert codes[1] == codes[3]
+    assert len({int(codes[0]), int(codes[1]), int(codes[2])}) == 3
 
 
 @settings(max_examples=40, deadline=None)
-@given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 4)),
+@given(st.lists(st.tuples(st.one_of(st.integers(0, 4), st.none()),
+                          st.one_of(st.integers(0, 4), st.none())),
                 min_size=1, max_size=40))
 def test_combined_codes_equality_property(rows):
-    """Two rows share a combined code iff they are equal as tuples."""
+    """Two rows share a combined code iff they are equal as tuples —
+    including tuples containing NULLs."""
     codes = _combined_codes([
         _bigint([r[0] for r in rows]),
         _bigint([r[1] for r in rows]),

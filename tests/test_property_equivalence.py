@@ -70,3 +70,36 @@ FROM mseed.dataview
 WHERE F.network = '{network}' AND F.channel = '{channel}'
 GROUP BY F.station ORDER BY F.station"""
     assert lazy.query(sql).rows() == eager.query(sql).rows()
+
+
+@pytest.mark.oracle
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    station=st.sampled_from(["HGN", "DBN", "ISK"]),
+    channel=st.sampled_from(["BHE", "BHZ"]),
+    offset_s=st.integers(min_value=0, max_value=19 * 60),
+    length_s=st.integers(min_value=1, max_value=120),
+    aggregate=st.sampled_from(
+        ["COUNT(*)", "SUM(D.sample_value)", "AVG(D.sample_value)",
+         "STDDEV_SAMP(D.sample_value)", "MEDIAN(D.sample_value)"]
+    ),
+)
+def test_random_window_differential_oracle(mode_pair, station, channel,
+                                           offset_s, length_s, aggregate):
+    """The three executors agree bit-for-bit on randomised lazy windows
+    (see ``tests/oracle.py``)."""
+    from oracle import run_differential
+
+    lazy, _eager = mode_pair
+    start = _DAY_START + offset_s * 1_000_000
+    end = min(start + length_s * 1_000_000, _DAY_START + _SPAN_US)
+    sql = f"""SELECT F.station, {aggregate} FROM mseed.dataview
+WHERE F.station = '{station}' AND F.channel = '{channel}'
+AND D.sample_time >= '{format_iso8601(start)}'
+AND D.sample_time < '{format_iso8601(end)}'
+GROUP BY F.station ORDER BY F.station"""
+    run_differential(lazy.db, sql)
