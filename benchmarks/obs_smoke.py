@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI observability smoke: serve a warehouse, scrape it, validate it.
+
+Starts a served lazy warehouse with the background snapshotter and the
+slow-query log enabled, runs a small mixed query workload across
+sessions, then validates the Prometheus text export end to end: it must
+parse under the strict exposition parser, carry every expected metric
+family, and keep label cardinality bounded.
+
+Run:  PYTHONPATH=src python benchmarks/obs_smoke.py
+Exits non-zero on any failed check (CI gates on it).
+"""
+
+import sys
+import tempfile
+import time
+
+from repro import SeismicWarehouse, build_repository
+from repro.mseed.synthesize import RepositorySpec
+from repro.obs.export import label_cardinality, parse_exposition
+
+EXPECTED_FAMILIES = (
+    # serving
+    "repro_queries_total",
+    "repro_query_seconds",
+    "repro_queue_wait_seconds",
+    "repro_service_queue_depth",
+    "repro_service_submitted_total",
+    # extraction + cache
+    "repro_extract_seconds",
+    "repro_extract_rows_total",
+    "repro_cache_lookups_total",
+    "repro_cache_hits_total",
+    # compilation
+    "repro_plan_cache_hits_total",
+    "repro_plan_cache_entries",
+)
+
+QUERY_MIX = [
+    ("alice", "SELECT COUNT(*) AS n FROM mseed.dataview "
+              "WHERE F.network = 'NL'"),
+    ("alice", "SELECT F.station, MIN(D.sample_value) AS lo "
+              "FROM mseed.dataview WHERE F.network = 'NL' "
+              "GROUP BY F.station ORDER BY F.station"),
+    ("bob", "SELECT COUNT(*) AS n FROM mseed.files"),
+    ("bob", "SELECT COUNT(*) AS n FROM mseed.dataview "
+            "WHERE F.network = 'NL'"),
+    ("carol", "SELECT R.seq_no FROM mseed.dataview "
+              "WHERE F.station = 'HGN' AND F.channel = 'BHZ'"),
+]
+
+MAX_LABEL_SETS = 64
+
+
+def main() -> int:
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(f"  {'ok' if ok else 'FAIL'}: {what}")
+        if not ok:
+            failures.append(what)
+
+    root = tempfile.mkdtemp(prefix="lazyetl-obs-smoke-")
+    print(f"building repository under {root} ...")
+    build_repository(root, RepositorySpec(files_per_stream=2))
+
+    wh = SeismicWarehouse(root, mode="lazy")
+    print("serving warehouse, running query mix ...")
+    with wh.serve(max_workers=2, slow_query_s=1e-9,
+                  metrics_interval_s=0.05) as svc:
+        for session, sql in QUERY_MIX * 2:
+            svc.query(sql, session=session)
+        time.sleep(0.1)  # let the snapshotter tick at least once
+
+        text = wh.metrics_text()
+        samples = parse_exposition(text)
+        check(len(samples) > 0, f"exposition parses ({len(samples)} samples)")
+
+        names = {name for name, _, _ in samples}
+        for family in EXPECTED_FAMILIES:
+            check(family in names or f"{family}_count" in names,
+                  f"family {family} exported")
+
+        card = label_cardinality(samples)
+        worst = max(card, key=card.get)
+        check(card[worst] <= MAX_LABEL_SETS + 1,
+              f"label cardinality bounded (worst {worst}={card[worst]})")
+
+        check(len(svc.slow_log) == len(QUERY_MIX) * 2,
+              f"slow-query log caught the mix ({len(svc.slow_log)})")
+        check(len(svc.snapshotter.snapshots()) >= 1,
+              f"snapshotter ticked ({len(svc.snapshotter.snapshots())})")
+
+    if failures:
+        print(f"\nobs smoke FAILED ({len(failures)} checks):")
+        for what in failures:
+            print(f"  - {what}")
+        return 1
+    print("\nobs smoke passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

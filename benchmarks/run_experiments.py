@@ -66,7 +66,9 @@ def main() -> int:
                 python=platform.python_version(),
                 machine=platform.machine(),
             )
-            print(f"  json written to {path}\n")
+            extra = (f" (+{len(table.reports)} query reports)"
+                     if table.reports else "")
+            print(f"  json written to {path}{extra}\n")
 
     if args.markdown:
         with open(args.markdown, "w") as handle:

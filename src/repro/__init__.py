@@ -30,6 +30,8 @@ Packages:
 * :mod:`repro.bench` — workload generators and the experiment harness.
 """
 
+import logging as _logging
+
 from repro.api import Connection, Cursor, PreparedStatement, connect
 from repro.db import Database, Result
 from repro.etl import (
@@ -55,6 +57,12 @@ from repro.seismology import (
     hunt_events,
 )
 from repro.service import ServiceConfig, WarehouseService
+
+# Library convention: the package root gets a NullHandler so subsystem
+# loggers ("repro.service", "repro.etl.lazy", ...) stay silent until the
+# application configures logging — and background threads never print
+# "no handler could be found" warnings.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

@@ -144,6 +144,16 @@ class Cursor:
     def trace(self) -> list[dict]:
         return [] if self._run is None else self._run.trace
 
+    @property
+    def spans(self) -> Optional[dict]:
+        """The execution's span tree (JSON-serialisable), or ``None``.
+
+        Filled when the engine runs with ``trace_spans=True``; streaming
+        executions report it once the stream is exhausted or closed.
+        """
+        report = self.report
+        return None if report is None else report.spans
+
     # -- fetching -----------------------------------------------------------
 
     def fetchone(self) -> Optional[tuple]:

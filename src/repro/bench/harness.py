@@ -84,9 +84,11 @@ def _fig1_experiment(eid: str, sql: str, title: str) -> ExperimentTable:
     lazy = SeismicWarehouse(root, mode="lazy")
     cold_s, _ = _timed(lambda: lazy.query(sql))
     cold_extracted = lazy.db.last_report.rows_extracted
+    table.attach_report("lazy cold", lazy.db.last_report)
     cold_files = len(lazy.files_extracted_by_last_query())
     warm_s, _ = _timed(lambda: lazy.query(sql))
     warm_extracted = lazy.db.last_report.rows_extracted
+    table.attach_report("lazy warm", lazy.db.last_report)
 
     # Cache-hit path without the plan-level recycler: extraction cache only.
     nocache = SeismicWarehouse(root, mode="lazy", enable_recycler=False)
@@ -377,7 +379,9 @@ def run_e8() -> ExperimentTable:
     )
     for spec, ext_spec in zip(suite, ext_suite):
         cold_s, _ = _timed(lambda s=spec: lazy.query(s.sql))
+        table.attach_report(f"{spec.qid} lazy cold", lazy.db.last_report)
         warm_s, _ = _timed(lambda s=spec: lazy.query(s.sql))
+        table.attach_report(f"{spec.qid} lazy warm", lazy.db.last_report)
         eager_s, _ = _timed(lambda s=spec: eager.query(s.sql))
         ext_s, _ = _timed(lambda s=ext_spec: external.query(s.sql))
         table.add_row(f"{spec.qid} {spec.title[:38]}",
@@ -555,6 +559,7 @@ def run_e11() -> ExperimentTable:
         wq_s, _ = _timed(lambda: warm.query(q1))
         extracted_files = warm.files_extracted_by_last_query()
         report = warm.db.last_report
+        table.attach_report("warm start q1", report)
         table.add_row(
             "warm start", format_duration(warm_s), format_duration(wq_s),
             f"{len(extracted_files)} files re-extracted",

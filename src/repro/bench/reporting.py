@@ -15,12 +15,21 @@ class ExperimentTable:
     headers: list[str]
     rows: list[list[str]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    reports: dict = field(default_factory=dict)
 
     def add_row(self, *cells: object) -> None:
         self.rows.append([str(c) for c in cells])
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    def attach_report(self, label: str, report) -> None:
+        """Keep a labelled :class:`QueryReport` alongside the table.
+
+        Stored via ``report.to_dict()``, so the JSON artifacts pick up
+        new engine counters automatically as the report grows.
+        """
+        self.reports[label] = report.to_dict()
 
     def render(self) -> str:
         from repro.util.human import format_table
@@ -44,6 +53,8 @@ class ExperimentTable:
             "rows": [list(row) for row in self.rows],
             "notes": list(self.notes),
         }
+        if self.reports:
+            payload["reports"] = dict(self.reports)
         payload.update(extra)
         return payload
 

@@ -27,10 +27,11 @@ the full extraction) exists.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Mapping, Optional, Sequence
 
 import numpy as np
@@ -60,7 +61,10 @@ from repro.db.sql.parser import parse_prepared, parse_statement
 from repro.db.table import ColumnSpec, ForeignKeySpec, Table, TableSchema
 from repro.db.types import DataType, type_from_name
 from repro.errors import BindError, ExecutionError, SQLError
+from repro.obs.tracing import QueryProfile, span_tree
 from repro.util.oplog import OperationLog
+
+logger = logging.getLogger("repro.db.engine")
 
 ParamValues = "Sequence | Mapping | None"
 
@@ -97,6 +101,11 @@ class QueryReport:
     # units this query read.
     rows_served_eager: int = 0
     promotions: int = 0
+    # The query's span tree (repro.obs.tracing.span_tree), filled when
+    # the engine ran with trace_spans on or under EXPLAIN ANALYZE.
+    # Excluded from equality: two runs with identical counters are the
+    # same report even though their span timings always differ.
+    spans: Optional[dict] = field(default=None, repr=False, compare=False)
 
     @property
     def plan_s(self) -> float:
@@ -106,6 +115,23 @@ class QueryReport:
     @property
     def total_s(self) -> float:
         return self.parse_s + self.bind_s + self.optimize_s + self.execute_s
+
+    def to_dict(self, *, include_spans: bool = False) -> dict:
+        """Every timing and counter as plain data.
+
+        Field-driven on purpose: counters added to the dataclass in
+        later PRs land in bench JSON artifacts and service logs without
+        anyone re-listing them.
+        """
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self) if f.name != "spans"
+        }
+        data["plan_s"] = self.plan_s
+        data["total_s"] = self.total_s
+        if include_spans and self.spans is not None:
+            data["spans"] = self.spans
+        return data
 
 
 @dataclass
@@ -286,6 +312,11 @@ class StreamingQuery:
         report.pages_skipped = ctx.pages_skipped
         report.pages_skipped_zone = ctx.pages_skipped_zone
         _fold_trace_counters(report, ctx.trace)
+        if self.db.trace_spans:
+            # Streaming pulls through execute_batches, which bypasses the
+            # profiled execute path: query-level phases are exact, and
+            # trace events become the execute span's children.
+            report.spans = span_tree(self.sql, report, None, ctx.trace)
         self.rowcount = report.rows_out
         self.db.last_trace = ctx.trace
         self.db.last_report = report
@@ -310,6 +341,7 @@ class Database:
         enable_lazy_rewrite: bool = True,
         enable_pruning: bool = True,
         plan_cache_size: int = 128,
+        trace_spans: bool = False,
     ) -> None:
         self.catalog = Catalog()
         # Explicit None check: an empty OperationLog is falsy (len == 0).
@@ -320,6 +352,10 @@ class Database:
         )
         self.enable_lazy_rewrite = enable_lazy_rewrite
         self.enable_pruning = enable_pruning
+        # When on, every query carries a span tree in ``report.spans``
+        # (operator frames on the materialised path; trace-event spans on
+        # the streaming path, whose operator overrides bypass profiling).
+        self.trace_spans = trace_spans
         self.plan_cache_size = plan_cache_size
         self._plan_cache: \
             "OrderedDict[tuple, _CachedPlan | _CachedStatement]" = \
@@ -448,6 +484,22 @@ class Database:
             raise SQLError("explain() requires a SELECT statement")
         return self._explain_select(stmt)
 
+    def explain_analyze(self, sql: str, params: ParamValues = None) -> str:
+        """Execute a SELECT and render the plan with measured actuals.
+
+        Unlike :meth:`explain` this *runs* the query: each operator line
+        carries wall time (total/self), rows out and page I/O, with the
+        run-time extraction events nested beneath the operator that
+        triggered them.  Equivalent SQL surface: ``EXPLAIN ANALYZE
+        SELECT ...``.
+        """
+        stmt, spec = parse_prepared(sql)
+        if isinstance(stmt, ast.ExplainStmt):
+            stmt = stmt.select
+        if not isinstance(stmt, ast.SelectStmt):
+            raise SQLError("explain_analyze() requires a SELECT statement")
+        return self._explain_analyze(stmt, spec, sql, params)
+
     # -- compilation & the plan cache ------------------------------------------
 
     def _compile(self, stmt: ast.SelectStmt) -> tuple[LogicalNode, LogicalNode,
@@ -546,7 +598,9 @@ class Database:
         self.last_plan_optimized = entry.optimized
         self.last_plan_physical = entry.physical
 
-        ctx = ExecutionContext(oplog=self.oplog, recycler=self.recycler)
+        ctx = ExecutionContext(
+            oplog=self.oplog, recycler=self.recycler,
+            profile=QueryProfile() if self.trace_spans else None)
         self.oplog.record("query", "execute",
                           sql=sql[:120].replace("\n", " "))
         started = time.perf_counter()
@@ -560,6 +614,8 @@ class Database:
         report.pages_skipped = ctx.pages_skipped
         report.pages_skipped_zone = ctx.pages_skipped_zone
         _fold_trace_counters(report, ctx.trace)
+        if ctx.profile is not None:
+            report.spans = span_tree(sql, report, ctx.profile, ctx.trace)
         self.last_trace = ctx.trace
         self.last_report = report
         self.oplog.record(
@@ -580,9 +636,13 @@ class Database:
         row count (-1 for DDL/EXPLAIN)."""
         stmt, spec = payload
         if isinstance(stmt, ast.ExplainStmt):
-            # EXPLAIN never executes: parameter values (if any) are
-            # irrelevant and placeholders appear in the rendered plan.
-            text = self._explain_select(stmt.select)
+            if stmt.analyze:
+                text = self._explain_analyze(stmt.select, spec,
+                                             stmt.sql_text, params)
+            else:
+                # Plain EXPLAIN never executes: parameter values (if any)
+                # are irrelevant and placeholders appear in the plan.
+                text = self._explain_select(stmt.select)
             return Result(["plan"],
                           [Column.from_values(DataType.VARCHAR, [text])]), -1
         values = resolve_param_values(spec, [], params)
@@ -620,6 +680,73 @@ class Database:
             "",
             "== physical plan ==",
             explain_mod.render_physical(physical),
+        ]
+        return "\n".join(sections)
+
+    def _explain_analyze(self, stmt: ast.SelectStmt, spec: ParamSpec,
+                         sql: str, params: ParamValues) -> str:
+        """Compile, execute under a profile, and render the actuals.
+
+        Compiles outside the plan cache on purpose: the rendered tree
+        must describe exactly the plan this execution ran, and the timed
+        bind/optimize phases are part of what ANALYZE reports.
+        """
+        report = QueryReport(sql=sql)
+        started = time.perf_counter()
+        naive = bind_select(self.catalog, stmt)
+        bound = bind_select(self.catalog, stmt)
+        report.bind_s = time.perf_counter() - started
+        started = time.perf_counter()
+        optimized = optimize(
+            bound,
+            enable_lazy_rewrite=self.enable_lazy_rewrite,
+            enable_pruning=self.enable_pruning,
+        )
+        physical = build_physical(optimized, self.recycler)
+        report.optimize_s = time.perf_counter() - started
+        values = resolve_param_values(
+            spec, collect_bound_params(optimized), params)
+        profile = QueryProfile()
+        ctx = ExecutionContext(oplog=self.oplog, recycler=self.recycler,
+                               profile=profile)
+        self.oplog.record("query", "execute (analyze)",
+                          sql=sql[:120].replace("\n", " "))
+        started = time.perf_counter()
+        with ex.active_params(values):
+            chunk = physical.execute(ctx)
+        report.execute_s = time.perf_counter() - started
+        report.rows_out = chunk.length
+        report.rows_extracted = ctx.rows_extracted
+        report.operators_run = ctx.operators_run
+        report.pages_read = ctx.pages_read
+        report.pages_skipped = ctx.pages_skipped
+        report.pages_skipped_zone = ctx.pages_skipped_zone
+        _fold_trace_counters(report, ctx.trace)
+        report.spans = span_tree(sql, report, profile, ctx.trace)
+        self.last_plan_logical = naive
+        self.last_plan_optimized = optimized
+        self.last_plan_physical = physical
+        self.last_trace = ctx.trace
+        self.last_report = report
+        summary = (
+            f"rows_out={report.rows_out}"
+            f"  rows_extracted={report.rows_extracted}"
+            f"  pages_read={report.pages_read}"
+            f"  pages_skipped={report.pages_skipped}\n"
+            f"bind={explain_mod._fmt_s(report.bind_s)}"
+            f"  optimize={explain_mod._fmt_s(report.optimize_s)}"
+            f"  execute={explain_mod._fmt_s(report.execute_s)}"
+            f"  operators={explain_mod._fmt_s(profile.total_operator_s())}"
+        )
+        sections = [
+            "== logical plan (optimised) ==",
+            explain_mod.render_logical(optimized),
+            "",
+            "== executed plan (actual) ==",
+            explain_mod.render_analyzed(profile, ctx.trace),
+            "",
+            "== execution summary ==",
+            summary,
         ]
         return "\n".join(sections)
 

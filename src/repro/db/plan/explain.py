@@ -73,6 +73,49 @@ def render_physical(node: PhysicalNode, indent: int = 0) -> str:
     return "\n".join(parts)
 
 
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.3f}ms"
+
+
+def render_analyzed(profile, trace: list[dict]) -> str:
+    """Annotated plan tree for EXPLAIN ANALYZE.
+
+    Rendered from the executed :class:`~repro.obs.tracing.QueryProfile`
+    frame tree (not the static node tree): each line is one operator
+    *invocation* carrying measured wall time (total and self), rows out
+    and page I/O, with the run-time trace events it produced (extract,
+    cache_fetch, promoted_fetch, ...) nested beneath it.
+    """
+    if profile is None or not profile.roots:
+        return "(no operators executed)"
+    lines: list[str] = []
+
+    def walk(frame, indent: int) -> None:
+        pad = "  " * indent
+        stats = [f"time={_fmt_s(frame.total_s)}",
+                 f"self={_fmt_s(frame.self_s)}",
+                 f"rows={frame.rows_out}"]
+        if frame.pages_read:
+            stats.append(f"pages={frame.pages_read}")
+        if frame.recycled:
+            stats.append("recycled")
+        lines.append(f"{pad}{frame.label}  (actual: {', '.join(stats)})")
+        for index in frame.own_trace_indices():
+            entry = trace[index]
+            op = entry.get("op", "?")
+            rest = ", ".join(f"{k}={v}" for k, v in entry.items()
+                             if k not in ("op", "mtime_ns"))
+            lines.append(f"{pad}  + {op:<14} {rest}")
+        for child in frame.children:
+            walk(child, indent + 1)
+
+    for root in profile.roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
 def render_trace(trace: list[dict]) -> str:
     """Render the run-time rewrite trace (demo items 5-7).
 

@@ -88,6 +88,10 @@ class ExecutionContext:
     # (uri -> (repository, mtime_ns)); recycler admissions pin them so a
     # later file change can never be served from a cached intermediate.
     file_deps: dict = field(default_factory=dict)
+    # Operator-level profiling (EXPLAIN ANALYZE / span tracing): a
+    # repro.obs.tracing.QueryProfile, or None for unprofiled execution —
+    # the default keeps the hot path identical to before.
+    profile: Optional[object] = None
 
 
 DEFAULT_BATCH_ROWS = 4096
@@ -204,6 +208,8 @@ class PhysicalNode:
         )
 
     def execute(self, ctx: ExecutionContext) -> Chunk:
+        if ctx.profile is not None:
+            return self._execute_profiled(ctx)
         ctx.operators_run += 1
         signature = self.signature if ctx.recycler is not None else None
         cached = self._recycler_lookup(ctx, signature)
@@ -212,6 +218,43 @@ class PhysicalNode:
         chunk = self._run(ctx)
         self._recycler_admit(ctx, signature, chunk)
         return chunk
+
+    def _execute_profiled(self, ctx: ExecutionContext) -> Chunk:
+        """:meth:`execute` with an OpFrame recording time/rows/pages.
+
+        Frames nest through the profile's stack, so recursive child
+        ``execute`` calls land as child frames; the trace window
+        [trace_begin, trace_end) later attributes extraction events to
+        the operator that caused them.
+        """
+        profile = ctx.profile
+        frame = profile.enter(self)
+        pages_before = ctx.pages_read
+        trace_begin = len(ctx.trace)
+        recycled = False
+        rows_out = 0
+        started = time.perf_counter()
+        try:
+            ctx.operators_run += 1
+            signature = self.signature if ctx.recycler is not None else None
+            chunk = self._recycler_lookup(ctx, signature)
+            if chunk is not None:
+                recycled = True
+            else:
+                chunk = self._run(ctx)
+                self._recycler_admit(ctx, signature, chunk)
+            rows_out = chunk.length
+            return chunk
+        finally:
+            profile.exit(
+                frame,
+                elapsed_s=time.perf_counter() - started,
+                rows_out=rows_out,
+                pages_read=ctx.pages_read - pages_before,
+                trace_begin=trace_begin,
+                trace_end=len(ctx.trace),
+                recycled=recycled,
+            )
 
     def _run(self, ctx: ExecutionContext) -> Chunk:
         raise NotImplementedError

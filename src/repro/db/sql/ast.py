@@ -152,6 +152,9 @@ class UpdateStmt:
 class ExplainStmt:
     select: SelectStmt
     sql_text: str = ""
+    # EXPLAIN ANALYZE: execute the plan and annotate each operator with
+    # measured wall time, rows and page I/O (plain EXPLAIN never runs).
+    analyze: bool = False
 
 
 Statement = (

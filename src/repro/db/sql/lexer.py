@@ -30,8 +30,8 @@ KEYWORDS = {
     "null", "true", "false", "asc", "desc", "distinct", "join", "inner",
     "left", "right", "outer", "on", "cross", "create", "table", "view",
     "schema", "drop", "insert", "into", "values", "delete", "update", "set",
-    "primary", "foreign", "key", "references", "explain", "case", "when",
-    "then", "else", "end", "cast", "exists", "if", "union", "all",
+    "primary", "foreign", "key", "references", "explain", "analyze", "case",
+    "when", "then", "else", "end", "cast", "exists", "if", "union", "all",
 }
 
 _OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%", "||")

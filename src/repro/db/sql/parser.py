@@ -128,8 +128,13 @@ class _Parser:
             return self.select()
         if token.is_keyword("explain"):
             self.advance()
+            analyze = False
+            if self.current.is_keyword("analyze"):
+                self.advance()
+                analyze = True
             select = self.select()
-            return ast.ExplainStmt(select=select, sql_text=self.sql)
+            return ast.ExplainStmt(select=select, sql_text=self.sql,
+                                   analyze=analyze)
         if token.is_keyword("create"):
             return self.create()
         if token.is_keyword("drop"):

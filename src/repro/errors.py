@@ -154,3 +154,12 @@ class AdmissionError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A query was submitted to a service that has been shut down."""
+
+
+# ---------------------------------------------------------------------------
+# Observability errors
+# ---------------------------------------------------------------------------
+
+
+class MetricsError(ReproError):
+    """Metric misuse: name/type/label mismatch or malformed exposition."""

@@ -36,6 +36,7 @@ buffer pool's pinned pages, and trims back as soon as protection drops.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -45,6 +46,8 @@ from typing import Iterator, Optional
 import numpy as np
 
 from repro.errors import CacheInvariantError, ETLError
+
+logger = logging.getLogger("repro.etl.cache")
 
 POLICIES = ("lru", "fifo", "cost")
 
@@ -72,6 +75,7 @@ class CacheStats:
     stale_drops: int = 0
     widenings: int = 0
     restored: int = 0  # entries re-admitted from a storage snapshot
+    spills: int = 0  # entries persisted to a storage snapshot
 
     @property
     def hit_rate(self) -> float:
@@ -398,12 +402,35 @@ class ExtractionCache:
                 entry for entry in entries
                 if not skip(entry[0], entry[1], entry[2], entry[4])
             ]
-        return store.save_cache_snapshot(entries)
+        written = store.save_cache_snapshot(entries)
+        with self._lock:
+            self.stats.spills += written
+        logger.info("spilled %d cache entries to %s", written, store.root)
+        return written
 
     def restore(self, store) -> int:
         """Warm-start from a snapshot written by :meth:`spill`."""
         store = _as_store(store)
         return self.import_entries(store.load_cache_snapshot())
+
+    def snapshot(self) -> dict:
+        """Counters and occupancy as plain data (metrics collectors)."""
+        with self._lock:
+            return {
+                "lookups": self.stats.lookups,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "admissions": self.stats.admissions,
+                "evictions": self.stats.evictions,
+                "stale_drops": self.stats.stale_drops,
+                "widenings": self.stats.widenings,
+                "restored": self.stats.restored,
+                "spills": self.stats.spills,
+                "entries": len(self._entries),
+                "used_bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "protected": len(self._protected),
+            }
 
     def render(self, max_rows: int = 20) -> str:
         lines = [

@@ -23,6 +23,7 @@ panels (4)-(7) display.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -47,6 +48,8 @@ from repro.etl.metadata import (
 )
 from repro.mseed.repository import Repository
 from repro.util.oplog import OperationLog
+
+logger = logging.getLogger("repro.etl.lazy")
 
 
 class LazyDataBinding:
@@ -103,6 +106,9 @@ class LazyDataBinding:
         self.extract_pool = None
         self.wait_timeout_s = 30.0
         self._refresh_lock = threading.RLock()
+        # Observability hook: an ExtractionInstruments bundle (installed
+        # by the warehouse); None keeps the hot path free of metric work.
+        self.metrics = None
 
     # -- LazyTableBinding protocol ------------------------------------------------
 
@@ -300,6 +306,10 @@ class LazyDataBinding:
         Callers hold the file's stripe lock; metadata-table DML is
         additionally globally serialised through the refresh lock.
         """
+        logger.info("stale file %s: dropping cache/promoted state and "
+                    "re-harvesting metadata", uri)
+        if self.metrics is not None:
+            self.metrics.stale_files_total.inc()
         self.oplog.record("cache", f"stale entries dropped for {uri}")
         if self.promoted is not None:
             self.promoted.invalidate_file(uri)
@@ -383,8 +393,13 @@ class LazyDataBinding:
             "op": "extract", "file": uri, "records": len(missing),
             "rows": extracted.total_rows(),
             "seconds": round(elapsed, 4),
+            "seq_lo": min(missing), "seq_hi": max(missing),
             "mtime_ns": mtime_ns,
         })
+        if self.metrics is not None:
+            self.metrics.extract_seconds.observe(elapsed)
+            self.metrics.extract_records_total.inc(len(missing))
+            self.metrics.extract_rows_total.inc(extracted.total_rows())
         self.oplog.record(
             "extract", f"extracted {len(missing)} records from {uri}",
             rows=extracted.total_rows(), seconds=round(elapsed, 4),
@@ -431,9 +446,13 @@ class LazyDataBinding:
             started = time.perf_counter()
             got = self.coalescer.wait(flight, seqs, self.wait_timeout_s)
             waited = time.perf_counter() - started
+            if self.metrics is not None:
+                self.metrics.coalesce_wait_seconds.observe(waited)
             if got is None:
                 # The flight failed, timed out or covered fewer records
                 # than we need: extract those records ourselves.
+                logger.debug("coalesce fallback on %s: flight covered "
+                             "%d records short", uri, len(seqs))
                 trace.append({"op": "coalesce_fallback", "file": uri,
                               "records": len(seqs)})
                 pieces.extend(self._extract_direct(uri, seqs, data_cols,
@@ -443,6 +462,7 @@ class LazyDataBinding:
             trace.append({
                 "op": "extract_wait", "file": uri, "records": len(got),
                 "rows": rows, "seconds": round(waited, 4),
+                "seq_lo": min(got), "seq_hi": max(got),
                 "mtime_ns": mtime_ns,
             })
             self.oplog.record(

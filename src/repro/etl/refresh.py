@@ -17,6 +17,7 @@ every changed file's actual data — the cost experiment E6 measures.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
@@ -24,6 +25,8 @@ from repro.errors import FileMissingError, MSeedError
 from repro.etl.eager import EagerETL
 from repro.etl.lazy import LazyETL, _columnar
 from repro.etl.metadata import Granularity
+
+logger = logging.getLogger("repro.etl.refresh")
 
 
 @dataclass
@@ -63,6 +66,8 @@ class MetadataSync:
         try:
             return self.lazy.harvest_single(info)
         except (FileMissingError, FileNotFoundError) as exc:
+            logger.warning("file %s vanished during sync: %s",
+                           info.uri, exc)
             self.lazy.db.oplog.record(
                 "refresh", f"file {info.uri} vanished during sync",
                 error=str(exc)[:80],
@@ -71,6 +76,8 @@ class MetadataSync:
         except MSeedError as exc:
             # Torn mid-rewrite content: treat like a vanished file; the
             # next sync will pick the file up once it is stable again.
+            logger.warning("file %s unreadable during sync "
+                           "(torn rewrite?): %s", info.uri, exc)
             self.lazy.db.oplog.record(
                 "refresh", f"file {info.uri} unreadable during sync",
                 error=str(exc)[:80],

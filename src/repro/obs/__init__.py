@@ -1,0 +1,48 @@
+"""Warehouse-wide observability: metrics, span tracing, exporters.
+
+* :mod:`repro.obs.metrics` — the thread-safe :class:`MetricsRegistry`
+  (counters, gauges, bounded-reservoir histograms) every hot layer
+  reports through;
+* :mod:`repro.obs.tracing` — per-query span trees
+  (parse → bind → optimize → execute → per-operator frames →
+  extraction events), the substrate of EXPLAIN ANALYZE;
+* :mod:`repro.obs.export` — Prometheus text exposition and JSON
+  snapshots, plus the strict parser CI validates scrapes with;
+* :mod:`repro.obs.slowlog` — the threshold-gated slow-query log.
+"""
+
+from repro.obs.export import (
+    label_cardinality,
+    parse_exposition,
+    render_prometheus,
+    snapshot_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    ExtractionInstruments,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshotter,
+    OVERFLOW_LABEL,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracing import OpFrame, QueryProfile, span_tree
+
+__all__ = [
+    "Counter",
+    "ExtractionInstruments",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshotter",
+    "OVERFLOW_LABEL",
+    "OpFrame",
+    "QueryProfile",
+    "SlowQueryLog",
+    "label_cardinality",
+    "parse_exposition",
+    "render_prometheus",
+    "snapshot_json",
+    "span_tree",
+]

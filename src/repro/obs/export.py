@@ -1,0 +1,152 @@
+"""Metric exporters: Prometheus text exposition + JSON snapshots.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.
+MetricsRegistry` snapshot into the Prometheus text exposition format
+(version 0.0.4): ``# HELP`` / ``# TYPE`` comment lines followed by one
+sample line per series.  Histograms export as *summaries* — quantile
+series plus ``_sum`` and ``_count`` — because the reservoir answers
+quantiles directly and never kept fixed buckets.
+
+:func:`parse_exposition` is the matching validator: it re-parses an
+exposition into ``(name, labels, value)`` samples, raising
+:class:`~repro.errors.MetricsError` on any malformed line.  CI's obs
+smoke step scrapes a served warehouse and runs the scrape through it,
+then bounds per-metric label cardinality with
+:func:`label_cardinality`.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.errors import MetricsError
+
+_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME_RE})(?:\{{(.*)\}})? (-?(?:[0-9.eE+-]+|[Nn]a[Nn]|[+-]?[Ii]nf))$"
+)
+_LABEL_RE = re.compile(rf'({_NAME_RE})="((?:[^"\\]|\\.)*)"')
+
+
+def _escape_label(value: object) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_labels(labels: dict, extra: "dict | None" = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return format(float(value), ".10g")
+
+
+def render_prometheus(source) -> str:
+    """Render a registry (or a raw snapshot dict) as exposition text."""
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        meta = snapshot[name]
+        kind = meta.get("type", "gauge")
+        help_text = meta.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(
+            f"# TYPE {name} "
+            f"{'summary' if kind == 'histogram' else kind}"
+        )
+        for sample in meta.get("samples", []):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                                      ("0.99", "p99")):
+                    lines.append(
+                        f"{name}"
+                        f"{_fmt_labels(labels, {'quantile': quantile})} "
+                        f"{_fmt_value(sample.get(key, 0.0))}"
+                    )
+                lines.append(f"{name}_sum{_fmt_labels(labels)} "
+                             f"{_fmt_value(sample.get('sum', 0.0))}")
+                lines.append(f"{name}_count{_fmt_labels(labels)} "
+                             f"{_fmt_value(sample.get('count', 0))}")
+            else:
+                lines.append(f"{name}{_fmt_labels(labels)} "
+                             f"{_fmt_value(sample.get('value', 0))}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> list[tuple[str, dict, float]]:
+    """Parse exposition text back into ``(name, labels, value)`` samples.
+
+    Strict on purpose — this is the validator CI scrapes through.
+    """
+    samples: list[tuple[str, dict, float]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if not (line.startswith("# HELP ") or line.startswith("# TYPE ")):
+                raise MetricsError(
+                    f"line {lineno}: unknown comment {line[:60]!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise MetricsError(
+                f"line {lineno}: malformed sample {line[:80]!r}")
+        name, label_blob, value_text = match.groups()
+        labels: dict[str, str] = {}
+        if label_blob:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(label_blob):
+                labels[pair.group(1)] = (
+                    pair.group(2).replace('\\"', '"')
+                    .replace("\\n", "\n").replace("\\\\", "\\")
+                )
+                consumed += 1
+            expected = label_blob.count("=")
+            if consumed != expected:
+                raise MetricsError(
+                    f"line {lineno}: malformed labels {label_blob[:80]!r}")
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise MetricsError(
+                f"line {lineno}: bad value {value_text!r}") from exc
+        samples.append((name, labels, value))
+    return samples
+
+
+def label_cardinality(samples: list[tuple[str, dict, float]]
+                      ) -> dict[str, int]:
+    """Distinct label sets per metric name (the CI cardinality bound)."""
+    seen: dict[str, set] = {}
+    for name, labels, _value in samples:
+        base = name[:-len("_sum")] if name.endswith("_sum") else \
+            name[:-len("_count")] if name.endswith("_count") else name
+        key = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "quantile"))
+        seen.setdefault(base, set()).add(key)
+    return {name: len(keys) for name, keys in seen.items()}
+
+
+def snapshot_json(source, **extra: object) -> str:
+    """A registry snapshot as a JSON document (``warehouse.metrics()``
+    already returns the dict; this adds stable serialisation)."""
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    payload = {"metrics": snapshot}
+    payload.update(extra)
+    return json.dumps(payload, indent=2, sort_keys=True, default=str)

@@ -1,0 +1,69 @@
+"""Threshold-gated slow-query log.
+
+Queries whose end-to-end latency crosses the threshold emit one
+structured stdlib-logging record on ``repro.obs.slowquery`` (the full
+record dict travels in ``record.slow_query`` for structured handlers;
+the formatted message carries the human-readable summary) and are kept
+in a bounded in-memory ring for introspection without any handler
+configured.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from typing import Optional
+
+logger = logging.getLogger("repro.obs.slowquery")
+
+
+class SlowQueryLog:
+    """Record queries slower than a threshold (thread-safe)."""
+
+    def __init__(self, threshold_s: float, *, capacity: int = 256,
+                 log: Optional[logging.Logger] = None) -> None:
+        if threshold_s < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.threshold_s = threshold_s
+        self._entries: "deque[dict]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._logger = log or logger
+
+    def observe(self, *, session_id: str, sql: str, total_s: float,
+                queued_s: float, execute_s: float, report=None) -> bool:
+        """Record the query if it crossed the threshold; True if it did."""
+        if total_s < self.threshold_s:
+            return False
+        record = {
+            "session": session_id,
+            "sql": sql,
+            "total_s": round(total_s, 6),
+            "queued_s": round(queued_s, 6),
+            "execute_s": round(execute_s, 6),
+        }
+        if report is not None:
+            record.update(
+                rows_out=report.rows_out,
+                rows_extracted=report.rows_extracted,
+                pages_read=report.pages_read,
+                plan_cache_hit=report.plan_cache_hit,
+            )
+        with self._lock:
+            self._entries.append(record)
+        self._logger.warning(
+            "slow query (%.3fs >= %.3fs) on %s: %s",
+            total_s, self.threshold_s, session_id,
+            sql[:120].replace("\n", " "),
+            extra={"slow_query": record},
+        )
+        return True
+
+    def entries(self) -> list[dict]:
+        """Recorded slow queries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

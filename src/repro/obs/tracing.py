@@ -1,0 +1,191 @@
+"""Per-query span trees over the flat run-time trace.
+
+The engine always kept a flat ``ctx.trace`` list of run-time rewrite
+events.  This module adds the structure around it: a
+:class:`QueryProfile` records one :class:`OpFrame` per physical-operator
+invocation (stack-nested, so the frame tree mirrors the execution tree),
+and :func:`span_tree` assembles the full query span —
+parse → bind → optimize → execute, one child span per operator, and the
+trace events (extractions, cache fetches, promoted reads) nested under
+the operator that produced them — as plain JSON-serialisable dicts.
+
+Frames attribute three things per operator: wall time (total and self,
+i.e. minus children), rows out, and page I/O (total and self).  Trace
+events are claimed positionally: a frame owns the ``ctx.trace`` indices
+appended during its execution that no child frame's window covers.
+
+The profile is attached as ``ExecutionContext.profile``; ``None`` (the
+default) keeps the execution path exactly as before — operators only pay
+for profiling when EXPLAIN ANALYZE or span tracing asked for it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: ``ctx.trace`` ops that carry a wall-time measurement of their own.
+_TIMED_TRACE_OPS = frozenset({"extract", "extract_wait"})
+
+
+class OpFrame:
+    """One physical-operator invocation inside a :class:`QueryProfile`."""
+
+    __slots__ = ("op", "label", "total_s", "child_s", "rows_out",
+                 "pages_read", "child_pages", "recycled",
+                 "trace_begin", "trace_end", "children")
+
+    def __init__(self, op: str, label: str) -> None:
+        self.op = op                # operator class name, e.g. "PFilter"
+        self.label = label          # node.describe() text
+        self.total_s = 0.0
+        self.child_s = 0.0
+        self.rows_out = 0
+        self.pages_read = 0
+        self.child_pages = 0
+        self.recycled = False
+        self.trace_begin = 0
+        self.trace_end = 0
+        self.children: list["OpFrame"] = []
+
+    @property
+    def self_s(self) -> float:
+        """Wall time spent in this operator, excluding child operators."""
+        return max(self.total_s - self.child_s, 0.0)
+
+    @property
+    def self_pages(self) -> int:
+        return max(self.pages_read - self.child_pages, 0)
+
+    def own_trace_indices(self) -> list[int]:
+        """Trace indices this frame produced itself (children excluded).
+
+        A child's window covers its whole subtree, so subtracting the
+        direct children's windows is sufficient.
+        """
+        covered = [(c.trace_begin, c.trace_end) for c in self.children]
+        return [
+            i for i in range(self.trace_begin, self.trace_end)
+            if not any(begin <= i < end for begin, end in covered)
+        ]
+
+
+class QueryProfile:
+    """Operator-level profile of one query execution (stack-nested)."""
+
+    def __init__(self) -> None:
+        self.roots: list[OpFrame] = []
+        self._stack: list[OpFrame] = []
+
+    def enter(self, node) -> OpFrame:
+        frame = OpFrame(type(node).__name__, node.describe())
+        if self._stack:
+            self._stack[-1].children.append(frame)
+        else:
+            self.roots.append(frame)
+        self._stack.append(frame)
+        return frame
+
+    def exit(self, frame: OpFrame, *, elapsed_s: float, rows_out: int,
+             pages_read: int, trace_begin: int, trace_end: int,
+             recycled: bool) -> None:
+        if self._stack and self._stack[-1] is frame:
+            self._stack.pop()
+        frame.total_s = elapsed_s
+        frame.rows_out = rows_out
+        frame.pages_read = pages_read
+        frame.trace_begin = trace_begin
+        frame.trace_end = trace_end
+        frame.recycled = recycled
+        if self._stack:
+            parent = self._stack[-1]
+            parent.child_s += elapsed_s
+            parent.child_pages += pages_read
+
+    def total_operator_s(self) -> float:
+        """Wall time attributed to operators = sum of root-frame totals.
+
+        Equivalently the sum of every frame's *self* time; EXPLAIN
+        ANALYZE's accounting invariant checks this against the report's
+        ``execute_s``.
+        """
+        return sum(frame.total_s for frame in self.roots)
+
+
+def _trace_span(entry: dict) -> dict:
+    attrs = {k: v for k, v in entry.items() if k != "op"}
+    span = {"name": f"trace:{entry.get('op', '?')}", "attrs": attrs}
+    if entry.get("op") in _TIMED_TRACE_OPS:
+        span["elapsed_s"] = entry.get("seconds", 0.0)
+    return span
+
+
+def operator_span(frame: OpFrame, trace: list[dict]) -> dict:
+    """One operator frame (and its subtree) as a span dict."""
+    children: list[dict] = []
+    own = set(frame.own_trace_indices())
+    child_iter = iter(frame.children)
+    next_child = next(child_iter, None)
+    # Interleave trace-event spans with child-operator spans in trace
+    # order so the span tree reads in execution order.
+    for index in range(frame.trace_begin, frame.trace_end):
+        while next_child is not None and next_child.trace_begin <= index:
+            children.append(operator_span(next_child, trace))
+            next_child = next(child_iter, None)
+        if index in own:
+            children.append(_trace_span(trace[index]))
+    while next_child is not None:
+        children.append(operator_span(next_child, trace))
+        next_child = next(child_iter, None)
+    span = {
+        "name": frame.op,
+        "detail": frame.label,
+        "elapsed_s": frame.total_s,
+        "self_s": frame.self_s,
+        "rows_out": frame.rows_out,
+    }
+    if frame.pages_read:
+        span["pages_read"] = frame.pages_read
+    if frame.recycled:
+        span["recycled"] = True
+    if children:
+        span["children"] = children
+    return span
+
+
+def span_tree(sql: str, report, profile: Optional[QueryProfile],
+              trace: list[dict]) -> dict:
+    """The whole query as one JSON-serialisable span tree.
+
+    ``profile`` may be ``None`` (plan-cache-hit streaming runs through
+    operator overrides, for instance): the compile/execute phases are
+    still exact, the execute span just has no operator children.
+    """
+    execute_span: dict = {
+        "name": "execute",
+        "elapsed_s": report.execute_s,
+        "rows_out": report.rows_out,
+    }
+    operator_children = (
+        [operator_span(frame, trace) for frame in profile.roots]
+        if profile is not None else []
+    )
+    if operator_children:
+        execute_span["children"] = operator_children
+    elif trace:
+        # No operator attribution — keep the trace events visible as
+        # direct children of the execute span.
+        execute_span["children"] = [_trace_span(entry) for entry in trace]
+    return {
+        "name": "query",
+        "attrs": {
+            "sql": sql,
+            "plan_cache_hit": report.plan_cache_hit,
+        },
+        "elapsed_s": report.total_s,
+        "children": [
+            {"name": "parse", "elapsed_s": report.parse_s},
+            {"name": "bind", "elapsed_s": report.bind_s},
+            {"name": "optimize", "elapsed_s": report.optimize_s},
+            execute_span,
+        ],
+    }

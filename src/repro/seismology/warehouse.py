@@ -23,6 +23,8 @@ from repro.etl.metadata import Granularity
 from repro.etl.mseed_adapter import MSeedAdapter
 from repro.etl.refresh import EagerRefresh, MetadataSync, SyncReport
 from repro.mseed.repository import Repository
+from repro.obs.export import render_prometheus, snapshot_json
+from repro.obs.metrics import ExtractionInstruments, MetricsRegistry
 from repro.seismology import schema as schema_mod
 from repro.util.oplog import OperationLog
 
@@ -49,6 +51,7 @@ class SeismicWarehouse:
         defer_load: bool = False,
         storage_path: "str | os.PathLike | None" = None,
         bufferpool_bytes: int = 64 * 1024 * 1024,
+        trace_spans: bool = False,
     ) -> None:
         if mode not in ("lazy", "eager", "external"):
             raise ETLError(f"unknown warehouse mode {mode!r}")
@@ -58,12 +61,17 @@ class SeismicWarehouse:
                      else Repository(repository))
         self.adapter = adapter or MSeedAdapter()
         self.oplog = OperationLog()
+        # One registry per warehouse: every layer (storage, ETL, engine,
+        # service) reports into it; scraped via metrics()/metrics_text().
+        self.metrics_registry = MetricsRegistry()
+        self._metrics_collector = None
         self.db = Database(
             oplog=self.oplog,
             recycler_budget_bytes=recycler_budget_bytes,
             enable_recycler=enable_recycler,
             enable_lazy_rewrite=enable_lazy_rewrite,
             enable_pruning=enable_pruning,
+            trace_spans=trace_spans,
         )
         self.load_report: Optional[ETLReport] = None
 
@@ -106,6 +114,7 @@ class SeismicWarehouse:
             if not defer_load:
                 self.load()
         self._attach_promoted()
+        self._wire_observability()
 
     def _can_warm_start(self) -> bool:
         if self.store is None or self.mode != "lazy":
@@ -123,6 +132,7 @@ class SeismicWarehouse:
         report.seconds = max(report.seconds, time.perf_counter() - started)
         self.load_report = report
         self._attach_promoted()
+        self._wire_observability()
         return report
 
     def _attach_promoted(self) -> None:
@@ -141,6 +151,67 @@ class SeismicWarehouse:
         from repro.storage.promoted import PromotedStore
 
         binding.promoted = PromotedStore(self.store)
+
+    def _wire_observability(self) -> None:
+        """Attach extraction instruments and the warehouse collector.
+
+        Idempotent — both the constructor and :meth:`load` call it
+        (under ``defer_load`` the lazy binding does not exist until
+        after the load).  The collector samples subsystem counters at
+        scrape time only, so queries never pay for it.
+        """
+        # Only the lazy binding exposes the ``metrics`` hook; eager and
+        # external pipelines have no query-time extraction to instrument.
+        binding = getattr(self.pipeline, "binding", None)
+        if binding is not None and hasattr(binding, "metrics") \
+                and binding.metrics is None:
+            binding.metrics = ExtractionInstruments(self.metrics_registry)
+        if self._metrics_collector is None:
+            self._metrics_collector = \
+                self.metrics_registry.register_collector(
+                    self._collect_warehouse_metrics)
+
+    def _collect_warehouse_metrics(self) -> dict:
+        """Scrape-time sample of every subsystem's own counters."""
+        out: dict[str, float] = {}
+        cache = self.cache
+        if cache is not None:
+            snap = cache.snapshot()
+            for name in ("lookups", "hits", "misses", "admissions",
+                         "evictions", "stale_drops", "widenings",
+                         "restored", "spills"):
+                out[f"repro_cache_{name}_total"] = snap[name]
+            out["repro_cache_entries"] = snap["entries"]
+            out["repro_cache_used_bytes"] = snap["used_bytes"]
+            out["repro_cache_protected_entries"] = snap["protected"]
+        if self.store is not None:
+            snap = self.store.pool.snapshot()
+            for name in ("lookups", "hits", "misses", "evictions",
+                         "disk_reads", "coalesced_loads"):
+                out[f"repro_bufferpool_{name}_total"] = snap[name]
+            out["repro_bufferpool_bytes_read_total"] = snap["bytes_read"]
+            out["repro_bufferpool_pages"] = snap["pages"]
+            out["repro_bufferpool_used_bytes"] = snap["used_bytes"]
+            out["repro_bufferpool_pinned_pages"] = snap["pinned"]
+        out["repro_plan_cache_hits_total"] = self.db.plan_cache_hits
+        out["repro_plan_cache_misses_total"] = self.db.plan_cache_misses
+        out["repro_plan_cache_entries"] = self.db.plan_cache_len()
+        recycler = self.recycler
+        if recycler is not None:
+            stats = recycler.stats
+            for name in ("lookups", "hits", "admissions", "evictions",
+                         "rejected", "stale_drops"):
+                out[f"repro_recycler_{name}_total"] = getattr(stats, name)
+            out["repro_recycler_used_bytes"] = recycler.used_bytes
+            out["repro_recycler_entries"] = len(recycler)
+        heat = self.heat
+        if heat is not None:
+            out["repro_heat_tracked_units"] = len(heat)
+        promoted = self.promoted
+        if promoted is not None:
+            out["repro_promoted_units"] = len(promoted)
+            out["repro_promoted_disk_bytes"] = promoted.disk_bytes()
+        return out
 
     def checkpoint(self, storage_path: "str | os.PathLike | None" = None
                    ) -> int:
@@ -289,6 +360,29 @@ class SeismicWarehouse:
 
     def explain(self, sql: str) -> str:
         return self.db.explain(sql)
+
+    def explain_analyze(self, sql: str, params=None) -> str:
+        """EXPLAIN ANALYZE: run the query and render measured actuals."""
+        return self.db.explain_analyze(sql, params)
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """One metrics snapshot: ``{name: {type, help, samples}}``.
+
+        Covers every wired subsystem — extraction cache, buffer pool,
+        plan cache, recycler, heat/promotion, extraction instruments and
+        (while serving) the service's latency/admission metrics.
+        """
+        return self.metrics_registry.snapshot()
+
+    def metrics_text(self) -> str:
+        """The current snapshot in Prometheus text exposition format."""
+        return render_prometheus(self.metrics_registry)
+
+    def metrics_json(self, **extra: object) -> str:
+        """The current snapshot as a JSON document (plus ``extra`` keys)."""
+        return snapshot_json(self.metrics_registry, **extra)
 
     # -- introspection (the demo's numbered panels) ----------------------------------
 

@@ -28,6 +28,7 @@ the extraction once, off the query path, which is the whole point.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
@@ -39,6 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.etl.heat import AccessHeatTracker
     from repro.etl.lazy import LazyDataBinding
     from repro.storage.promoted import PromotedStore
+
+logger = logging.getLogger("repro.service.promoter")
 
 
 @dataclass
@@ -352,6 +355,7 @@ class BackgroundPromoter:
                 with self._lock:
                     self.errors += 1
                     self.last_error = exc
+                logger.exception("promotion cycle failed (continuing)")
                 self.promoter.binding.oplog.record(
                     "promote", "promotion cycle failed (continuing)",
                     error=repr(exc)[:200])

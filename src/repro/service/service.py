@@ -24,6 +24,7 @@ exception and is internally serialised).
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from concurrent.futures import Future
@@ -31,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ServiceClosedError, ServiceError
+from repro.obs.metrics import MetricsSnapshotter
+from repro.obs.slowlog import SlowQueryLog
 from repro.service.admission import AdmissionController, AdmissionStats
 from repro.service.coalescer import CoalescerStats, ExtractionCoalescer
 from repro.service.parallel import ParallelExtractor
@@ -38,6 +41,8 @@ from repro.service.parallel import ParallelExtractor
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.exec.engine import QueryReport
     from repro.seismology.warehouse import SeismicWarehouse
+
+logger = logging.getLogger("repro.service")
 
 
 @dataclass
@@ -57,6 +62,11 @@ class ServiceConfig:
     promote_budget_bytes: int = 256 * 1024 * 1024
     promote_min_score: float = 2.0
     promote_max_units: int = 512
+    # Observability: served queries feed the warehouse's metrics
+    # registry unconditionally; these gate the *extras*.
+    slow_query_s: Optional[float] = None  # threshold-gated slow-query log
+    metrics_interval_s: float = 0.0       # 0 disables the snapshot thread
+    metrics_history: int = 120            # snapshots the thread retains
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -75,6 +85,13 @@ class ServiceConfig:
                 raise ServiceError("promote_budget_bytes must be positive")
             if self.promote_max_units <= 0:
                 raise ServiceError("promote_max_units must be positive")
+        if self.slow_query_s is not None and self.slow_query_s <= 0:
+            raise ServiceError("slow_query_s must be positive (or None "
+                               "to disable the slow-query log)")
+        if self.metrics_interval_s < 0:
+            raise ServiceError("metrics_interval_s cannot be negative")
+        if self.metrics_history <= 0:
+            raise ServiceError("metrics_history must be positive")
 
 
 @dataclass
@@ -225,6 +242,22 @@ class WarehouseService:
         self._latencies: list[float] = []
         self._started = False
         self._closed = False
+        # Observability: instruments live on the warehouse's registry so
+        # one scrape covers storage, ETL and serving together.
+        self.metrics = warehouse.metrics_registry
+        self._query_seconds = self.metrics.histogram(
+            "repro_query_seconds",
+            "Served query latency, submit to completion",
+            labels=("session",))
+        self._queue_wait_seconds = self.metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Time queries spent in the admission queue")
+        self._queries_total = self.metrics.counter(
+            "repro_queries_total", "Queries served", labels=("status",))
+        self.slow_log = (SlowQueryLog(config.slow_query_s)
+                         if config.slow_query_s is not None else None)
+        self.snapshotter: Optional[MetricsSnapshotter] = None
+        self._service_collector = None
         self.start()
 
     # -- lifecycle ----------------------------------------------------------------
@@ -259,7 +292,18 @@ class WarehouseService:
             )
             worker.start()
             self._workers.append(worker)
+        self._service_collector = self.metrics.register_collector(
+            self._collect_service_metrics)
+        if self.config.metrics_interval_s > 0:
+            self.snapshotter = MetricsSnapshotter(
+                self.metrics, self.config.metrics_interval_s,
+                history=self.config.metrics_history)
+            self.snapshotter.start()
         self._started = True
+        logger.info(
+            "service started: %d workers, queue depth %d, coalesce=%s",
+            self.config.max_workers, self.config.queue_depth,
+            self.config.coalesce)
         self.warehouse.oplog.record(
             "service", "service started",
             workers=self.config.max_workers,
@@ -298,6 +342,8 @@ class WarehouseService:
         if self._closed:
             return
         self._closed = True
+        if self.snapshotter is not None:
+            self.snapshotter.stop()
         if self.promoter is not None:
             self.promoter.stop()
         self.admission.close()
@@ -314,6 +360,11 @@ class WarehouseService:
                 binding.extract_pool = None
         if self.extract_pool is not None:
             self.extract_pool.close()
+        if self._service_collector is not None:
+            self.metrics.unregister_collector(self._service_collector)
+            self._service_collector = None
+        logger.info("service stopped: %d completed, %d failed",
+                    self._completed, self._failed)
         self.warehouse.oplog.record(
             "service", "service stopped",
             completed=self._completed, failed=self._failed,
@@ -365,6 +416,7 @@ class WarehouseService:
                     return
                 continue
             queued_s = time.perf_counter() - item.submitted_at
+            self._queue_wait_seconds.observe(queued_s)
             with self._in_flight:
                 started = time.perf_counter()
                 try:
@@ -373,6 +425,9 @@ class WarehouseService:
                 except BaseException as exc:
                     with self._stats_lock:
                         self._failed += 1
+                    self._queries_total.inc(status="error")
+                    logger.warning("query failed on %s: %s",
+                                   item.session_id, exc)
                     item.future.set_exception(exc)
                     continue
                 execute_s = time.perf_counter() - started
@@ -389,9 +444,43 @@ class WarehouseService:
             with self._stats_lock:
                 self._completed += 1
                 self._latencies.append(outcome.total_s)
+            self._queries_total.inc(status="ok")
+            self._query_seconds.observe(outcome.total_s,
+                                        session=item.session_id)
+            if self.slow_log is not None:
+                self.slow_log.observe(
+                    session_id=item.session_id, sql=item.sql,
+                    total_s=outcome.total_s, queued_s=queued_s,
+                    execute_s=execute_s, report=report,
+                )
             item.future.set_result(outcome)
 
     # -- introspection ----------------------------------------------------------------
+
+    def _collect_service_metrics(self) -> dict:
+        """Scrape-time sampler over counters the service already keeps
+        (registered on :meth:`start`, removed on :meth:`close`)."""
+        admission = self.admission.stats
+        out = {
+            "repro_service_queue_depth": self.admission.queued(),
+            "repro_service_sessions": len(self._sessions),
+            "repro_service_submitted_total": admission.submitted,
+            "repro_service_rejected_total": admission.rejected,
+            "repro_service_dispatched_total": admission.dispatched,
+            "repro_service_max_queued": admission.max_queued,
+        }
+        if self.coalescer is not None:
+            for name, value in self.coalescer.stats.snapshot().items():
+                out[f"repro_coalescer_{name}_total"] = value
+        if self.promoter is not None:
+            total = self.promoter.total
+            out["repro_promoter_cycles_total"] = self.promoter.cycles
+            out["repro_promoter_errors_total"] = self.promoter.errors
+            out["repro_promoter_promoted_units_total"] = total.promoted_units
+            out["repro_promoter_demoted_units_total"] = total.demoted_units
+        if self.slow_log is not None:
+            out["repro_slow_queries_total"] = len(self.slow_log)
+        return out
 
     def stats(self) -> ServiceStats:
         with self._stats_lock:

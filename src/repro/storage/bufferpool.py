@@ -189,6 +189,23 @@ class BufferPool:
     def __contains__(self, key: PageKey) -> bool:
         return key in self._pages
 
+    def snapshot(self) -> dict:
+        """Counters and occupancy as plain data (metrics collectors)."""
+        with self._lock:
+            return {
+                "lookups": self.stats.lookups,
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "disk_reads": self.stats.disk_reads,
+                "bytes_read": self.stats.bytes_read,
+                "coalesced_loads": self.stats.coalesced_loads,
+                "pages": len(self._pages),
+                "used_bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "pinned": len(self._pins),
+            }
+
     def render(self) -> str:
         return (
             f"buffer pool: {len(self)} pages, {self._bytes} / "
