@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
 """CI observability smoke: serve a warehouse, scrape it, validate it.
 
-Starts a served lazy warehouse with the background snapshotter and the
-slow-query log enabled, runs a small mixed query workload across
-sessions, then validates the Prometheus text export end to end: it must
+Starts a served lazy warehouse with the background snapshotter, the
+slow-query log and the HTTP observability endpoint enabled, runs a
+small mixed query workload across sessions, then validates the whole
+surface end to end: the Prometheus text export (scraped over HTTP) must
 parse under the strict exposition parser, carry every expected metric
-family, and keep label cardinality bounded.
+family, and keep label cardinality bounded; /healthz must report ok;
+/sys/queries must serve the journal the same way SQL over sys.queries
+scans it.
 
 Run:  PYTHONPATH=src python benchmarks/obs_smoke.py
 Exits non-zero on any failed check (CI gates on it).
 """
 
+import json
 import sys
 import tempfile
 import time
+import urllib.request
 
 from repro import SeismicWarehouse, build_repository
 from repro.mseed.synthesize import RepositorySpec
@@ -67,14 +72,37 @@ def main() -> int:
     wh = SeismicWarehouse(root, mode="lazy")
     print("serving warehouse, running query mix ...")
     with wh.serve(max_workers=2, slow_query_s=1e-9,
-                  metrics_interval_s=0.05) as svc:
+                  metrics_interval_s=0.05, http_port=0) as svc:
         for session, sql in QUERY_MIX * 2:
             svc.query(sql, session=session)
         time.sleep(0.1)  # let the snapshotter tick at least once
 
-        text = wh.metrics_text()
+        base = svc.http.url
+        print(f"scraping observability endpoint at {base} ...")
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10) as resp:
+            check(resp.status == 200 and
+                  "version=0.0.4" in resp.headers["Content-Type"],
+                  "GET /metrics serves the exposition content type")
+            text = resp.read().decode("utf-8")
         samples = parse_exposition(text)
         check(len(samples) > 0, f"exposition parses ({len(samples)} samples)")
+
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as resp:
+            health = json.load(resp)
+            check(resp.status == 200 and health["status"] == "ok",
+                  f"GET /healthz reports ok ({health['status']})")
+
+        with urllib.request.urlopen(f"{base}/sys/queries",
+                                    timeout=10) as resp:
+            journal = json.load(resp)
+        check(len(journal["rows"]) == len(QUERY_MIX) * 2,
+              f"GET /sys/queries serves the journal "
+              f"({len(journal['rows'])} rows)")
+        sql_count = wh.query(
+            "SELECT count(*) FROM sys.queries WHERE status = 'ok'"
+        ).rows()[0][0]
+        check(sql_count >= len(QUERY_MIX) * 2,
+              f"SQL over sys.queries agrees ({sql_count} ok rows)")
 
         names = {name for name, _, _ in samples}
         for family in EXPECTED_FAMILIES:

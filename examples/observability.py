@@ -4,13 +4,15 @@
 Opens a lazy warehouse, runs a few queries, and shows every lens the
 warehouse offers on its own behaviour: the Prometheus text export, the
 JSON metrics snapshot, EXPLAIN ANALYZE's annotated operator tree,
-per-query span trees, and the served slow-query log.
+per-query span trees, the served slow-query log, the SQL-queryable
+``sys.*`` system tables, and the HTTP observability endpoint.
 
 Run:  PYTHONPATH=src python examples/observability.py
 """
 
 import json
 import tempfile
+import urllib.request
 
 from repro import SeismicWarehouse, build_repository, fig1_query2
 from repro.mseed.synthesize import RepositorySpec
@@ -46,10 +48,10 @@ def main() -> None:
                             "repro_plan_cache", "# TYPE repro_cache_hits")):
             print(f"   {line}")
 
-    print("\n5. served warehouses add latency histograms and a "
-          "slow-query log:")
+    print("\n5. served warehouses add latency histograms, a slow-query "
+          "log\n   and an HTTP endpoint (http_port=0 binds ephemerally):")
     with warehouse.serve(max_workers=2, slow_query_s=1e-6,
-                         metrics_interval_s=0.05) as service:
+                         metrics_interval_s=0.05, http_port=0) as service:
         for session in ("alice", "bob", "alice"):
             service.query(fig1_query2(), session=session)
         snapshot = warehouse.metrics()
@@ -59,9 +61,33 @@ def main() -> None:
         slowest = max(service.slow_log.entries(),
                       key=lambda e: e["total_s"])
         print(f"   slowest: {slowest['total_s'] * 1e3:.2f} ms on "
-              f"{slowest['session']} ({slowest['rows_out']} rows)")
+              f"{slowest['session']} (journal id {slowest['journal_id']})")
 
-    print("\n6. metrics_json() bundles a snapshot for files/dashboards:")
+        print("\n6. the warehouse introspects itself in SQL — sys.* "
+              "system tables:")
+        for row in warehouse.query(
+                "SELECT session, status, count(*) AS n, "
+                "max(execute_s) AS slowest_s "
+                "FROM sys.queries GROUP BY session, status "
+                "ORDER BY session").rows():
+            print(f"   session={row[0]:<6} status={row[1]:<5} "
+                  f"n={row[2]}  slowest={row[3] * 1e3:.2f} ms")
+
+        print("\n7. the same surface over HTTP — scrape /metrics, "
+              "query /sys/<table>:")
+        with urllib.request.urlopen(f"{service.http.url}/metrics",
+                                    timeout=10) as resp:
+            families = [line for line in resp.read().decode().splitlines()
+                        if line.startswith("# TYPE")]
+        print(f"   GET /metrics -> {len(families)} metric families")
+        with urllib.request.urlopen(f"{service.http.url}/sys/sessions",
+                                    timeout=10) as resp:
+            sessions = json.load(resp)["rows"]
+        for row in sessions:
+            print(f"   GET /sys/sessions -> {row['session']}: "
+                  f"{row['queries']} queries")
+
+    print("\n8. metrics_json() bundles a snapshot for files/dashboards:")
     payload = json.loads(warehouse.metrics_json(run="observability-demo"))
     print(f"   {len(payload['metrics'])} metric families, "
           f"run={payload['run']!r}")

@@ -7,6 +7,11 @@ plan cache, so re-executing the same (or the same *parameterised*) SQL
 skips parse/bind/optimise entirely.  :class:`PreparedStatement` makes
 that contract explicit: compile once, execute many times with different
 bound values.
+
+The ``sys.*`` system tables are first-class through this API: any
+cursor can ``SELECT`` from ``sys.queries``, ``sys.sessions`` (and, on a
+warehouse, the subsystem tables) — including joins and aggregates — to
+introspect the very engine it is connected to.
 """
 
 from __future__ import annotations

@@ -22,10 +22,20 @@ import numpy as np
 from repro.db.column import Column
 from repro.db.expr import ColumnRef, Star
 from repro.db.sql import ast
-from repro.db.table import Table, TableSchema
+from repro.db.table import SystemTable, Table, TableSchema
 from repro.errors import BindError, CatalogError
 
 DEFAULT_SCHEMA = "main"
+
+SYSTEM_SCHEMA = "sys"
+"""Reserved schema for virtual system tables (``sys.queries`` & co).
+
+User DDL — CREATE/DROP TABLE/VIEW/SCHEMA, lazy binding — is rejected in
+it, and registering a system table does *not* bump the catalog epoch:
+system tables appear under every connection without invalidating a
+single cached plan (their providers produce rows at scan time, so
+cached plans always see current data anyway).
+"""
 
 
 @runtime_checkable
@@ -116,8 +126,17 @@ class Catalog:
 
     # -- schemas ---------------------------------------------------------------
 
+    @staticmethod
+    def _reject_system_schema(key: str, action: str) -> None:
+        if key == SYSTEM_SCHEMA:
+            raise CatalogError(
+                f"schema {SYSTEM_SCHEMA!r} is reserved for system tables; "
+                f"cannot {action}"
+            )
+
     def create_schema(self, name: str, *, if_not_exists: bool = False) -> None:
         key = name.lower()
+        self._reject_system_schema(key, "create it")
         if key in self._schemas:
             if if_not_exists:
                 return
@@ -129,6 +148,7 @@ class Catalog:
         key = name.lower()
         if key == DEFAULT_SCHEMA:
             raise CatalogError("cannot drop the default schema")
+        self._reject_system_schema(key, "drop it")
         if key not in self._schemas:
             if if_exists:
                 return
@@ -159,6 +179,7 @@ class Catalog:
     def create_table(self, parts: tuple[str, ...], schema: TableSchema,
                      *, if_not_exists: bool = False) -> Table:
         schema_name, table_name = self.split_name(parts)
+        self._reject_system_schema(schema_name, "create tables in it")
         entry = self._schema(schema_name)
         if table_name in entry.tables or table_name in entry.views:
             if if_not_exists and table_name in entry.tables:
@@ -173,6 +194,7 @@ class Catalog:
 
     def drop_table(self, parts: tuple[str, ...], *, if_exists: bool = False) -> None:
         schema_name, table_name = self.split_name(parts)
+        self._reject_system_schema(schema_name, "drop tables in it")
         entry = self._schema(schema_name)
         if table_name not in entry.tables:
             if if_exists:
@@ -208,11 +230,44 @@ class Catalog:
             out.extend(entry.tables.values())
         return out
 
+    # -- system tables -----------------------------------------------------------
+
+    def register_system_table(self, table: SystemTable) -> SystemTable:
+        """Mount a virtual table under the reserved ``sys`` schema.
+
+        Epoch-stable by design: registration never invalidates cached
+        plans, and re-registering a name simply replaces the provider
+        (warehouse wiring is idempotent).  ``table.name`` must be
+        ``sys.<name>``.
+        """
+        schema_name, table_name = self.split_name(
+            tuple(table.name.split("."))
+        )
+        if schema_name != SYSTEM_SCHEMA:
+            raise CatalogError(
+                f"system table {table.name!r} must live in the "
+                f"{SYSTEM_SCHEMA!r} schema"
+            )
+        entry = self._schemas.get(SYSTEM_SCHEMA)
+        if entry is None:
+            entry = self._schemas[SYSTEM_SCHEMA] = SchemaEntry(SYSTEM_SCHEMA)
+        entry.tables[table_name] = table
+        return table
+
+    def system_tables(self) -> dict[str, SystemTable]:
+        """Registered system tables by bare name (``queries``, ...)."""
+        entry = self._schemas.get(SYSTEM_SCHEMA)
+        if entry is None:
+            return {}
+        return {name: table for name, table in entry.tables.items()
+                if isinstance(table, SystemTable)}
+
     # -- views -------------------------------------------------------------------
 
     def create_view(self, parts: tuple[str, ...], select: ast.SelectStmt,
                     sql_text: str) -> View:
         schema_name, view_name = self.split_name(parts)
+        self._reject_system_schema(schema_name, "create views in it")
         entry = self._schema(schema_name)
         if view_name in entry.views or view_name in entry.tables:
             raise CatalogError(f"object {schema_name}.{view_name} already exists")
@@ -286,6 +341,7 @@ class Catalog:
     def bind_lazy(self, parts: tuple[str, ...], binding: LazyTableBinding) -> None:
         """Mark a table as lazily extracted (registered by the ETL layer)."""
         schema_name, table_name = self.split_name(parts)
+        self._reject_system_schema(schema_name, "bind lazy tables in it")
         self._schema(schema_name)  # validate
         qualified = f"{schema_name}.{table_name}"
         table = self.table(parts)  # must exist
@@ -372,6 +428,8 @@ class Catalog:
         written: list[str] = []
         for schema_entry in self._schemas.values():
             for table in schema_entry.tables.values():
+                if isinstance(table, SystemTable):
+                    continue  # runtime introspection, not warehouse data
                 if getattr(table, "lazy_binding", None) is not None:
                     continue
                 if table.disk_backing is not None:

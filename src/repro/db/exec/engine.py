@@ -61,6 +61,8 @@ from repro.db.sql.parser import parse_prepared, parse_statement
 from repro.db.table import ColumnSpec, ForeignKeySpec, Table, TableSchema
 from repro.db.types import DataType, type_from_name
 from repro.errors import BindError, ExecutionError, SQLError
+from repro.obs import journal as journal_mod
+from repro.obs.journal import QueryJournal
 from repro.obs.tracing import QueryProfile, span_tree
 from repro.util.oplog import OperationLog
 
@@ -101,6 +103,12 @@ class QueryReport:
     # units this query read.
     rows_served_eager: int = 0
     promotions: int = 0
+    # sys.queries correlation: the journal entry id this execution wrote
+    # (0 until journaled) and a short stable hash of its bound parameter
+    # values ("" for parameterless runs).  Slow-log lines and bench JSON
+    # carry both, so any log record joins back to the query journal.
+    journal_id: int = 0
+    params_hash: str = ""
     # The query's span tree (repro.obs.tracing.span_tree), filled when
     # the engine ran with trace_spans on or under EXPLAIN ANALYZE.
     # Excluded from equality: two runs with identical counters are the
@@ -187,6 +195,16 @@ def _fold_trace_counters(report: QueryReport, trace: list[dict]) -> None:
             report.pages_read += entry.get("pages_read", 0)
 
 
+def _fill_ctx_counters(report: QueryReport, ctx: ExecutionContext) -> None:
+    """Copy execution-context counters into the report (all paths)."""
+    report.rows_extracted = ctx.rows_extracted
+    report.operators_run = ctx.operators_run
+    report.pages_read = ctx.pages_read
+    report.pages_skipped = ctx.pages_skipped
+    report.pages_skipped_zone = ctx.pages_skipped_zone
+    _fold_trace_counters(report, ctx.trace)
+
+
 def _plan_tables(node: LogicalNode) -> set[str]:
     """Qualified names of every base/lazy table a plan touches."""
     from repro.db.plan import logical as lg
@@ -265,6 +283,7 @@ class StreamingQuery:
         self.dtypes = [c.dtype for c in entry.optimized.output]
         self.rowcount = -1  # unknown until the stream is exhausted
         self._values = values
+        report.params_hash = journal_mod.params_hash(values)
         self._ctx = ExecutionContext(oplog=db.oplog, recycler=db.recycler)
         self.trace = self._ctx.trace
         self._finished = False
@@ -290,6 +309,10 @@ class StreamingQuery:
                 self.report.execute_s += time.perf_counter() - started
                 self._finalize()
                 return
+            except Exception as exc:
+                self.report.execute_s += time.perf_counter() - started
+                self._finalize(status="error", error=str(exc))
+                raise
             self.report.execute_s += time.perf_counter() - started
             self.report.rows_out += chunk.length
             yield Result(self.names,
@@ -301,17 +324,16 @@ class StreamingQuery:
             self._gen.close()
             self._finalize()
 
-    def _finalize(self) -> None:
+    def _finalize(self, *, status: str = "ok", error: str = "") -> None:
         if self._finished:
             return
         self._finished = True
         ctx, report = self._ctx, self.report
-        report.rows_extracted = ctx.rows_extracted
-        report.operators_run = ctx.operators_run
-        report.pages_read = ctx.pages_read
-        report.pages_skipped = ctx.pages_skipped
-        report.pages_skipped_zone = ctx.pages_skipped_zone
-        _fold_trace_counters(report, ctx.trace)
+        _fill_ctx_counters(report, ctx)
+        # A closed-early stream journals as "ok": partial consumption
+        # (e.g. a satisfied LIMIT at the cursor) is a finished query.
+        report.journal_id = self.db.journal.record_report(
+            report, status=status, error=error)
         if self.db.trace_spans:
             # Streaming pulls through execute_batches, which bypasses the
             # profiled execute path: query-level phases are exact, and
@@ -342,8 +364,20 @@ class Database:
         enable_pruning: bool = True,
         plan_cache_size: int = 128,
         trace_spans: bool = False,
+        journal: Optional[QueryJournal] = None,
+        journal_capacity: int = journal_mod.DEFAULT_JOURNAL_CAPACITY,
     ) -> None:
         self.catalog = Catalog()
+        # Every finished SELECT (materialised, streaming or rowpath;
+        # success or failure) lands in the journal, queryable as
+        # sys.queries / sys.sessions on any connection.
+        self.journal = journal if journal is not None \
+            else QueryJournal(journal_capacity)
+        # Imported here, not at module top: systables needs the table
+        # layer, whose package init imports this engine module.
+        from repro.obs.systables import install_engine_system_tables
+
+        install_engine_system_tables(self)
         # Explicit None check: an empty OperationLog is falsy (len == 0).
         self.oplog = oplog if oplog is not None else OperationLog()
         self.recycler: Optional[Recycler] = (
@@ -427,6 +461,7 @@ class Database:
         if kind != "select":
             raise SQLError("query_rowpath() requires a SELECT statement")
         values = resolve_param_values(entry.spec, entry.bound_params, params)
+        report.params_hash = journal_mod.params_hash(values)
         ctx = ExecutionContext(oplog=self.oplog, recycler=None,
                                zone_pruning=False)
         self.oplog.record("query", "execute (rowpath)",
@@ -437,12 +472,8 @@ class Database:
                 entry.physical, entry.optimized.output, ctx)
         report.execute_s = time.perf_counter() - started
         report.rows_out = n_rows
-        report.rows_extracted = ctx.rows_extracted
-        report.operators_run = ctx.operators_run
-        report.pages_read = ctx.pages_read
-        report.pages_skipped = ctx.pages_skipped
-        report.pages_skipped_zone = ctx.pages_skipped_zone
-        _fold_trace_counters(report, ctx.trace)
+        _fill_ctx_counters(report, ctx)
+        report.journal_id = self.journal.record_report(report)
         self.oplog.record(
             "query", "done (rowpath)",
             rows=n_rows,
@@ -543,24 +574,31 @@ class Database:
                 return "select", entry, report
             return "other", (entry.stmt, entry.spec), report
 
-        stmt, spec = parse_prepared(sql)
-        report.parse_s = time.perf_counter() - started
-        if not isinstance(stmt, ast.SelectStmt):
-            self._store_cache_entry(key, _CachedStatement(stmt, spec))
-            return "other", (stmt, spec), report
+        try:
+            stmt, spec = parse_prepared(sql)
+            report.parse_s = time.perf_counter() - started
+            if not isinstance(stmt, ast.SelectStmt):
+                self._store_cache_entry(key, _CachedStatement(stmt, spec))
+                return "other", (stmt, spec), report
 
-        started = time.perf_counter()
-        naive = bind_select(self.catalog, stmt)
-        bound = bind_select(self.catalog, stmt)
-        report.bind_s = time.perf_counter() - started
-        started = time.perf_counter()
-        optimized = optimize(
-            bound,
-            enable_lazy_rewrite=self.enable_lazy_rewrite,
-            enable_pruning=self.enable_pruning,
-        )
-        physical = build_physical(optimized, self.recycler)
-        report.optimize_s = time.perf_counter() - started
+            started = time.perf_counter()
+            naive = bind_select(self.catalog, stmt)
+            bound = bind_select(self.catalog, stmt)
+            report.bind_s = time.perf_counter() - started
+            started = time.perf_counter()
+            optimized = optimize(
+                bound,
+                enable_lazy_rewrite=self.enable_lazy_rewrite,
+                enable_pruning=self.enable_pruning,
+            )
+            physical = build_physical(optimized, self.recycler)
+            report.optimize_s = time.perf_counter() - started
+        except Exception as exc:
+            # Statements that never reach execution (parse/bind errors)
+            # still journal: sys.queries is the full failure record.
+            report.journal_id = self.journal.record_report(
+                report, status="error", error=str(exc))
+            raise
         entry = _CachedPlan(
             stmt=stmt, naive=naive, optimized=optimized, physical=physical,
             spec=spec, bound_params=collect_bound_params(optimized),
@@ -593,6 +631,7 @@ class Database:
                        params: ParamValues, report: QueryReport
                        ) -> tuple[Result, QueryReport, list[dict]]:
         values = resolve_param_values(entry.spec, entry.bound_params, params)
+        report.params_hash = journal_mod.params_hash(values)
 
         self.last_plan_logical = entry.naive
         self.last_plan_optimized = entry.optimized
@@ -604,16 +643,19 @@ class Database:
         self.oplog.record("query", "execute",
                           sql=sql[:120].replace("\n", " "))
         started = time.perf_counter()
-        with ex.active_params(values):
-            chunk = entry.physical.execute(ctx)
+        try:
+            with ex.active_params(values):
+                chunk = entry.physical.execute(ctx)
+        except Exception as exc:
+            report.execute_s = time.perf_counter() - started
+            _fill_ctx_counters(report, ctx)
+            report.journal_id = self.journal.record_report(
+                report, status="error", error=str(exc))
+            raise
         report.execute_s = time.perf_counter() - started
         report.rows_out = chunk.length
-        report.rows_extracted = ctx.rows_extracted
-        report.operators_run = ctx.operators_run
-        report.pages_read = ctx.pages_read
-        report.pages_skipped = ctx.pages_skipped
-        report.pages_skipped_zone = ctx.pages_skipped_zone
-        _fold_trace_counters(report, ctx.trace)
+        _fill_ctx_counters(report, ctx)
+        report.journal_id = self.journal.record_report(report)
         if ctx.profile is not None:
             report.spans = span_tree(sql, report, ctx.profile, ctx.trace)
         self.last_trace = ctx.trace

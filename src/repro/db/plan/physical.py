@@ -26,6 +26,7 @@ import numpy as np
 from repro.db import expr as ex
 from repro.db.column import Column
 from repro.db.plan import logical as lg
+from repro.db.table import SystemTable
 from repro.db.types import DataType
 from repro.errors import ExecutionError
 from repro.util.oplog import OperationLog
@@ -469,6 +470,43 @@ class PTableScan(PhysicalNode):
                 "scan", f"scan {self.qualified_name} (streamed)",
                 rows=streamed, of=total, columns=len(self.schema),
             )
+
+
+class PSystemScan(PhysicalNode):
+    """Scan a :class:`~repro.db.table.SystemTable` provider snapshot.
+
+    The provider is sampled exactly once per execution (materialised or
+    streamed), so every column — and every batch of a streamed scan —
+    describes one consistent instant of runtime state, even while other
+    sessions keep appending journal entries or bumping counters.
+    """
+
+    def __init__(self, node: lg.LScan) -> None:
+        super().__init__(node.output)
+        self.table: SystemTable = node.table
+        self.qualified_name = node.qualified_name
+
+    def describe(self) -> str:
+        cols = ", ".join(c.name for c in self.schema)
+        return f"SystemScan {self.qualified_name} [{cols}]"
+
+    def _snapshot(self, ctx: ExecutionContext) -> Chunk:
+        by_name, length = self.table.snapshot_columns()
+        ctx.oplog.record("scan", f"scan {self.qualified_name} (system)",
+                         rows=length, columns=len(self.schema))
+        return Chunk(
+            columns={c.cid: by_name[c.name] for c in self.schema},
+            length=length,
+        )
+
+    def _run(self, ctx: ExecutionContext) -> Chunk:
+        return self._snapshot(ctx)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_rows: int = DEFAULT_BATCH_ROWS):
+        ctx.operators_run += 1
+        chunk = self._snapshot(ctx)
+        yield from iter_chunk_slices(chunk, batch_rows)
 
 
 # -- zone-map page pruning ---------------------------------------------------
@@ -1503,6 +1541,8 @@ def build_physical(node: lg.LogicalNode,
     bindings can never share an entry.
     """
     if isinstance(node, lg.LScan):
+        if isinstance(node.table, SystemTable):
+            return PSystemScan(node)
         if getattr(node.table, "disk_backing", None) is not None:
             return PDiskScan(node)
         return PTableScan(node)

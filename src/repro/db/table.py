@@ -312,3 +312,94 @@ class Table:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Table({self.name}, rows={self.row_count})"
+
+
+class SystemTable(Table):
+    """A read-only virtual table whose rows come from a provider.
+
+    The provider is any callable returning ``{column_name: sequence}``
+    with every schema column present and aligned.  Rows materialise at
+    *scan* time, never at bind time, so a plan compiled once (and kept
+    in the plan cache) always sees the current runtime state.  Each
+    snapshot bumps :attr:`version`, which keeps recycler signatures —
+    they embed table versions — from ever serving a stale aggregate
+    over moving introspection data.
+
+    System tables reject every mutation and are skipped by catalog
+    checkpoints: they describe the warehouse, they are not data in it.
+    """
+
+    def __init__(self, name: str, schema: TableSchema, provider) -> None:
+        super().__init__(name, schema)
+        self._provider = provider
+        self._columns = {}  # never holds resident data
+
+    def snapshot_columns(self) -> tuple[dict[str, Column], int]:
+        """One consistent snapshot: ``(columns by name, row count)``."""
+        data = self._provider()
+        columns: dict[str, Column] = {}
+        length: int | None = None
+        for spec in self.schema.columns:
+            if spec.name not in data:
+                raise ExecutionError(
+                    f"system table {self.name} provider omitted "
+                    f"column {spec.name!r}"
+                )
+            column = Column.from_values(spec.dtype, data[spec.name])
+            if length is None:
+                length = len(column)
+            elif len(column) != length:
+                raise ExecutionError(
+                    f"system table {self.name} provider returned ragged "
+                    f"columns ({spec.name!r}: {len(column)} vs {length})"
+                )
+            columns[spec.name] = column
+        self.version += 1
+        return columns, length or 0
+
+    def rows(self) -> list[dict]:
+        """The snapshot as JSON-friendly row dicts (HTTP /sys route)."""
+        columns, length = self.snapshot_columns()
+        names = self.schema.names
+        return [
+            {name: columns[name].value_at(i) for name in names}
+            for i in range(length)
+        ]
+
+    # -- introspection: a system table is never resident ----------------------
+
+    @property
+    def row_count(self) -> int:
+        return 0  # unknown until snapshot; 0 keeps planning provider-free
+
+    def column(self, name: str) -> Column:
+        raise ExecutionError(
+            f"system table {self.name} has no resident columns; "
+            "rows exist only inside a scan snapshot"
+        )
+
+    # -- mutation: rejected ----------------------------------------------------
+
+    def _read_only(self) -> ExecutionError:
+        return ExecutionError(f"system table {self.name} is read-only")
+
+    def attach_backing(self, backing) -> None:
+        raise self._read_only()
+
+    def append_batch(self, batch, *, enforce_keys: bool = True) -> int:
+        raise self._read_only()
+
+    def append_pydict(self, data, *, enforce_keys: bool = True) -> int:
+        raise self._read_only()
+
+    def delete_where(self, mask) -> int:
+        raise self._read_only()
+
+    def update_rows(self, mask, assignments) -> int:
+        raise self._read_only()
+
+    def truncate(self) -> None:
+        raise self._read_only()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SystemTable({self.name})"

@@ -8,7 +8,13 @@
   extraction events), the substrate of EXPLAIN ANALYZE;
 * :mod:`repro.obs.export` — Prometheus text exposition and JSON
   snapshots, plus the strict parser CI validates scrapes with;
-* :mod:`repro.obs.slowlog` — the threshold-gated slow-query log.
+* :mod:`repro.obs.slowlog` — the threshold-gated slow-query log;
+* :mod:`repro.obs.journal` — the bounded, durable per-query journal
+  behind ``sys.queries`` / ``sys.sessions``;
+* :mod:`repro.obs.systables` — ``sys.*`` virtual system tables served
+  straight through the SQL engine;
+* :mod:`repro.obs.http` — the stdlib HTTP observability endpoint
+  (``/metrics``, ``/healthz``, ``/sys/<table>``).
 """
 
 from repro.obs.export import (
@@ -26,7 +32,19 @@ from repro.obs.metrics import (
     MetricsSnapshotter,
     OVERFLOW_LABEL,
 )
+from repro.obs.http import ObservabilityServer
+from repro.obs.journal import (
+    QueryJournal,
+    current_context,
+    params_hash,
+    query_context,
+)
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.systables import (
+    SYSTEM_TABLE_COLUMNS,
+    install_engine_system_tables,
+    install_warehouse_system_tables,
+)
 from repro.obs.tracing import OpFrame, QueryProfile, span_tree
 
 __all__ = [
@@ -37,9 +55,17 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshotter",
     "OVERFLOW_LABEL",
+    "ObservabilityServer",
     "OpFrame",
+    "QueryJournal",
     "QueryProfile",
+    "SYSTEM_TABLE_COLUMNS",
     "SlowQueryLog",
+    "current_context",
+    "install_engine_system_tables",
+    "install_warehouse_system_tables",
+    "params_hash",
+    "query_context",
     "label_cardinality",
     "parse_exposition",
     "render_prometheus",

@@ -34,6 +34,66 @@ def _escape_label(value: object) -> str:
             .replace("\n", "\\n"))
 
 
+def _escape_help(text: object) -> str:
+    # HELP text escapes backslash and newline only (format 0.0.4);
+    # quotes stay literal.
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _unescape_label(value: str, lineno: int) -> str:
+    """Single-pass left-to-right unescape of one quoted label value.
+
+    Order matters and sequential ``str.replace`` passes get it wrong: a
+    literal backslash before an ``n`` renders as ``\\\\n``, which a
+    replace chain would corrupt into backslash+newline.  Unknown escape
+    sequences are rejected — this parser is CI's strict validator.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\":
+            if i + 1 >= len(value) or value[i + 1] not in _UNESCAPES:
+                raise MetricsError(
+                    f"line {lineno}: bad escape in label value "
+                    f"{value[:60]!r}")
+            out.append(_UNESCAPES[value[i + 1]])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(blob: str, lineno: int) -> dict[str, str]:
+    """Parse a label blob by tiling it with ``name="value"`` pairs.
+
+    Counting ``=`` characters (the old completeness check) miscounts as
+    soon as a label *value* contains one — SQL fragments routinely do —
+    so coverage is verified positionally instead: every character of
+    the blob must belong to a matched pair or a separating comma.
+    """
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(blob):
+        match = _LABEL_RE.match(blob, pos)
+        if match is None:
+            raise MetricsError(
+                f"line {lineno}: malformed labels {blob[pos:pos + 80]!r}")
+        labels[match.group(1)] = _unescape_label(match.group(2), lineno)
+        pos = match.end()
+        if pos < len(blob):
+            if blob[pos] != ",":
+                raise MetricsError(
+                    f"line {lineno}: malformed labels "
+                    f"{blob[pos:pos + 80]!r}")
+            pos += 1
+    return labels
+
+
 def _fmt_labels(labels: dict, extra: "dict | None" = None) -> str:
     merged = dict(labels)
     if extra:
@@ -64,7 +124,7 @@ def render_prometheus(source) -> str:
         kind = meta.get("type", "gauge")
         help_text = meta.get("help", "")
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(
             f"# TYPE {name} "
             f"{'summary' if kind == 'histogram' else kind}"
@@ -110,17 +170,7 @@ def parse_exposition(text: str) -> list[tuple[str, dict, float]]:
         name, label_blob, value_text = match.groups()
         labels: dict[str, str] = {}
         if label_blob:
-            consumed = 0
-            for pair in _LABEL_RE.finditer(label_blob):
-                labels[pair.group(1)] = (
-                    pair.group(2).replace('\\"', '"')
-                    .replace("\\n", "\n").replace("\\\\", "\\")
-                )
-                consumed += 1
-            expected = label_blob.count("=")
-            if consumed != expected:
-                raise MetricsError(
-                    f"line {lineno}: malformed labels {label_blob[:80]!r}")
+            labels = _parse_labels(label_blob, lineno)
         try:
             value = float(value_text)
         except ValueError as exc:

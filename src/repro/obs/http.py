@@ -1,0 +1,144 @@
+"""The stdlib HTTP observability endpoint of a served warehouse.
+
+Three read-only routes, served by a daemon thread off a
+:class:`http.server.ThreadingHTTPServer`:
+
+* ``GET /metrics`` — the Prometheus text exposition (scrape target).
+* ``GET /healthz`` — liveness plus degradation checks (queue depth,
+  worker liveness, metrics staleness); ``200 ok`` / ``503 degraded``.
+* ``GET /sys/<table>`` — any registered system table as JSON rows,
+  the same provider snapshot SQL over ``sys.<table>`` would scan.
+
+Owned by :class:`~repro.service.service.WarehouseService` via
+``serve(http_port=...)``: bound before the service is usable, shut
+down gracefully (no dangling socket, thread joined) on ``close()``.
+Port ``0`` binds an ephemeral port, published as :attr:`port`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.export import render_prometheus
+
+logger = logging.getLogger("repro.obs.http")
+
+DEFAULT_HTTP_HOST = "127.0.0.1"
+
+
+class ObservabilityServer:
+    """HTTP façade over one served warehouse's observability surface."""
+
+    def __init__(self, service, host: str = DEFAULT_HTTP_HOST,
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (resolves ephemeral binds), None when down."""
+        return None if self._httpd is None else self._httpd.server_address[1]
+
+    @property
+    def url(self) -> Optional[str]:
+        return None if self.port is None else f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        if self._httpd is not None:
+            return self
+        handler = _make_handler(self.service)
+        self._httpd = ThreadingHTTPServer((self.host, self.requested_port),
+                                          handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http", daemon=True,
+        )
+        self._thread.start()
+        logger.info("observability endpoint listening on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is None:
+            return
+        httpd.shutdown()
+        httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+
+def _make_handler(service):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # quiet: route to our logger
+            logger.debug("http %s", fmt % args)
+
+        def _send(self, status: int, content_type: str,
+                  body: bytes) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload) -> None:
+            body = json.dumps(payload, indent=1).encode("utf-8")
+            self._send(status, "application/json; charset=utf-8", body)
+
+        def do_GET(self) -> None:  # noqa: N802 (stdlib handler protocol)
+            path = self.path.split("?", 1)[0].rstrip("/") or "/"
+            try:
+                if path == "/metrics":
+                    text = render_prometheus(service.metrics)
+                    self._send(200,
+                               "text/plain; version=0.0.4; charset=utf-8",
+                               text.encode("utf-8"))
+                elif path == "/healthz":
+                    health = service.health()
+                    status = 200 if health["status"] == "ok" else 503
+                    self._send_json(status, health)
+                elif path.startswith("/sys/"):
+                    self._serve_system_table(path[len("/sys/"):])
+                elif path == "/":
+                    tables = sorted(
+                        service.warehouse.db.catalog.system_tables())
+                    self._send_json(200, {
+                        "routes": ["/metrics", "/healthz", "/sys/<table>"],
+                        "system_tables": tables,
+                    })
+                else:
+                    self._send_json(404, {"error": f"no route {path!r}"})
+            except BrokenPipeError:  # client went away mid-write
+                pass
+            except Exception as exc:  # surface, never kill the server
+                logger.exception("observability route %s failed", path)
+                try:
+                    self._send_json(500, {"error": str(exc)})
+                except OSError:
+                    pass
+
+        def _serve_system_table(self, name: str) -> None:
+            tables = service.warehouse.db.catalog.system_tables()
+            table = tables.get(name.lower())
+            if table is None:
+                self._send_json(404, {
+                    "error": f"unknown system table {name!r}",
+                    "system_tables": sorted(tables),
+                })
+                return
+            self._send_json(200, {
+                "table": f"sys.{name.lower()}",
+                "rows": table.rows(),
+            })
+
+    return Handler

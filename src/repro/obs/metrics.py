@@ -302,6 +302,11 @@ class MetricsRegistry:
             if fn in self._collectors:
                 self._collectors.remove(fn)
 
+    def collector_count(self) -> int:
+        """Registered collectors (lifecycle-leak regression checks)."""
+        with self._lock:
+            return len(self._collectors)
+
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self) -> dict:

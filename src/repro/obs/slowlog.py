@@ -6,6 +6,12 @@ record dict travels in ``record.slow_query`` for structured handlers;
 the formatted message carries the human-readable summary) and are kept
 in a bounded in-memory ring for introspection without any handler
 configured.
+
+Each record carries the query's ``journal_id`` and ``params_hash``, so
+a slow-log line joins back to its full journal entry with
+``SELECT * FROM sys.queries WHERE id = :journal_id`` and to every
+execution of the same parameter binding via ``params_hash`` (see the
+README's "System tables" section for the workflow).
 """
 
 from __future__ import annotations
@@ -48,6 +54,11 @@ class SlowQueryLog:
                 rows_extracted=report.rows_extracted,
                 pages_read=report.pages_read,
                 plan_cache_hit=report.plan_cache_hit,
+                # Correlation back to the query journal: the slow-log
+                # line joins to sys.queries on id = journal_id, and
+                # params_hash groups every execution of one binding.
+                journal_id=getattr(report, "journal_id", 0),
+                params_hash=getattr(report, "params_hash", ""),
             )
         with self._lock:
             self._entries.append(record)

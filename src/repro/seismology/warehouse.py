@@ -95,6 +95,9 @@ class SeismicWarehouse:
 
             self.store = TableStore(storage_path,
                                     bufferpool_bytes=bufferpool_bytes)
+            # The query journal is durable: restore whatever the last
+            # checkpoint spilled so sys.queries spans process restarts.
+            self.db.journal.import_state(self.store.load_query_journal())
 
         if self._can_warm_start() and not defer_load:
             # Restart from the checkpoint: attach persisted metadata and
@@ -170,6 +173,11 @@ class SeismicWarehouse:
             self._metrics_collector = \
                 self.metrics_registry.register_collector(
                     self._collect_warehouse_metrics)
+        # sys.* virtual tables over this warehouse's live state; the
+        # registration replaces providers, so re-wiring is harmless.
+        from repro.obs.systables import install_warehouse_system_tables
+
+        install_warehouse_system_tables(self)
 
     def _collect_warehouse_metrics(self) -> dict:
         """Scrape-time sample of every subsystem's own counters."""
@@ -231,6 +239,10 @@ class SeismicWarehouse:
                 "no storage attached: pass storage_path here or at "
                 "construction"
             )
+        # Spill the query journal into the manifest meta area first so
+        # the single atomic commit below covers it (durable sys.queries).
+        self.store.save_query_journal(self.db.journal.export_state(),
+                                      commit=False)
         if self.mode == "lazy":
             entries = self.pipeline.checkpoint(self.store)
             self._attach_promoted()
@@ -239,6 +251,34 @@ class SeismicWarehouse:
             self.db.attach(self.store)
         self.db.checkpoint()
         return 0
+
+    def close(self) -> None:
+        """Release observability hooks and storage handles.
+
+        Idempotent.  Unregisters the warehouse's scrape-time collector
+        from its registry (creating and closing many warehouses must not
+        accumulate collectors) and closes promoted-segment readers.  The
+        warehouse object is not usable for queries afterwards only to
+        the extent that its storage handles are gone; in-memory tables
+        still answer.
+        """
+        if self._metrics_collector is not None:
+            self.metrics_registry.unregister_collector(
+                self._metrics_collector)
+            self._metrics_collector = None
+        promoted = self.promoted
+        if promoted is not None:
+            promoted.close()
+        for table in self.db.catalog.tables():
+            backing = getattr(table, "disk_backing", None)
+            if backing is not None:
+                backing.close()
+
+    def __enter__(self) -> "SeismicWarehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def promote(self, budget_bytes: "int | None" = None, *,
                 min_score: "float | None" = None, max_units: int = 512):

@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ServiceClosedError, ServiceError
+from repro.obs.http import ObservabilityServer
+from repro.obs.journal import query_context
 from repro.obs.metrics import MetricsSnapshotter
 from repro.obs.slowlog import SlowQueryLog
 from repro.service.admission import AdmissionController, AdmissionStats
@@ -67,6 +69,11 @@ class ServiceConfig:
     slow_query_s: Optional[float] = None  # threshold-gated slow-query log
     metrics_interval_s: float = 0.0       # 0 disables the snapshot thread
     metrics_history: int = 120            # snapshots the thread retains
+    # HTTP observability endpoint (/metrics, /healthz, /sys/<table>);
+    # None disables it, 0 binds an ephemeral port (service.http_port
+    # publishes the resolved one).
+    http_port: Optional[int] = None
+    http_host: str = "127.0.0.1"
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -92,6 +99,10 @@ class ServiceConfig:
             raise ServiceError("metrics_interval_s cannot be negative")
         if self.metrics_history <= 0:
             raise ServiceError("metrics_history must be positive")
+        if self.http_port is not None and \
+                not (0 <= self.http_port <= 65535):
+            raise ServiceError("http_port must be in [0, 65535] "
+                               "(or None to disable the endpoint)")
 
 
 @dataclass
@@ -258,6 +269,7 @@ class WarehouseService:
                          if config.slow_query_s is not None else None)
         self.snapshotter: Optional[MetricsSnapshotter] = None
         self._service_collector = None
+        self.http: Optional[ObservabilityServer] = None
         self.start()
 
     # -- lifecycle ----------------------------------------------------------------
@@ -299,6 +311,10 @@ class WarehouseService:
                 self.metrics, self.config.metrics_interval_s,
                 history=self.config.metrics_history)
             self.snapshotter.start()
+        if self.config.http_port is not None:
+            self.http = ObservabilityServer(
+                self, host=self.config.http_host,
+                port=self.config.http_port).start()
         self._started = True
         logger.info(
             "service started: %d workers, queue depth %d, coalesce=%s",
@@ -342,6 +358,8 @@ class WarehouseService:
         if self._closed:
             return
         self._closed = True
+        if self.http is not None:
+            self.http.stop()
         if self.snapshotter is not None:
             self.snapshotter.stop()
         if self.promoter is not None:
@@ -420,8 +438,11 @@ class WarehouseService:
             with self._in_flight:
                 started = time.perf_counter()
                 try:
-                    result, report, trace = db.query_with_report(
-                        item.sql, item.params)
+                    # The journal context attributes the sys.queries
+                    # entry (session, queue wait) the engine records.
+                    with query_context(item.session_id, queued_s=queued_s):
+                        result, report, trace = db.query_with_report(
+                            item.sql, item.params)
                 except BaseException as exc:
                     with self._stats_lock:
                         self._failed += 1
@@ -456,6 +477,54 @@ class WarehouseService:
             item.future.set_result(outcome)
 
     # -- introspection ----------------------------------------------------------------
+
+    @property
+    def http_port(self) -> Optional[int]:
+        """The bound observability port (None when the endpoint is off)."""
+        return None if self.http is None else self.http.port
+
+    def health(self) -> dict:
+        """Liveness + degradation summary (the /healthz payload).
+
+        ``status`` is ``"ok"`` or ``"degraded"``; ``degraded`` lists
+        which checks tripped: a closed service, a near-full admission
+        queue (>= 80% of depth), dead workers, or a metrics snapshotter
+        that stopped ticking (staleness > 3 intervals).
+        """
+        queued = self.admission.queued()
+        capacity = self.config.queue_depth
+        workers_alive = sum(1 for w in self._workers if w.is_alive())
+        degraded: list[str] = []
+        if self._closed:
+            degraded.append("closed")
+        if capacity > 0 and queued >= 0.8 * capacity:
+            degraded.append("queue_depth")
+        if not self._closed and workers_alive < self.config.max_workers:
+            degraded.append("workers")
+        staleness_s: Optional[float] = None
+        if self.snapshotter is not None:
+            snapshots = self.snapshotter.snapshots()
+            if snapshots:
+                staleness_s = time.time() - snapshots[-1]["at"]
+                if staleness_s > 3 * self.config.metrics_interval_s:
+                    degraded.append("metrics_stale")
+        checks = {
+            "queue_depth": queued,
+            "queue_capacity": capacity,
+            "workers_alive": workers_alive,
+            "workers_expected": self.config.max_workers,
+            "sessions": len(self._sessions),
+            "completed": self._completed,
+            "failed": self._failed,
+            "journal_entries": len(self.warehouse.db.journal),
+        }
+        if staleness_s is not None:
+            checks["metrics_staleness_s"] = round(staleness_s, 3)
+        return {
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
+            "checks": checks,
+        }
 
     def _collect_service_metrics(self) -> dict:
         """Scrape-time sampler over counters the service already keeps

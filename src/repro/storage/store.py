@@ -219,6 +219,59 @@ class TableStore:
     def get_meta(self, key: str, default=None):
         return self._manifest["meta"].get(key, default)
 
+    # -- query journal spill (sys.queries durability) -------------------------------
+
+    JOURNAL_META_KEY = "query_journal"
+
+    def save_query_journal(self, state: dict, *, commit: bool = True) -> None:
+        """Spill a journal snapshot into the manifest meta area.
+
+        Rides the manifest's atomic commit: either the whole history
+        snapshot is durable or the previous one survives intact.
+        """
+        self.set_meta(self.JOURNAL_META_KEY, state)
+        if commit:
+            self.commit()
+
+    def load_query_journal(self) -> Optional[dict]:
+        """The spilled journal snapshot, or ``None`` on a cold store."""
+        return self.get_meta(self.JOURNAL_META_KEY)
+
+    # -- segment inventory (sys.segments) -------------------------------------------
+
+    def segments_snapshot(self) -> list[dict]:
+        """Every live segment as a row dict: tables, cache, promoted."""
+        with self._mutate:
+            tables = {name: dict(entry) for name, entry
+                      in self._manifest["tables"].items()}
+            cache = self._manifest.get("cache")
+            cache = None if cache is None else dict(cache)
+            promoted = {seg: list(directory) for seg, directory
+                        in self._manifest.get("promoted", {}).items()}
+
+        def size_of(segment: str) -> int:
+            try:
+                return os.path.getsize(os.path.join(self.root, segment))
+            except OSError:
+                return 0  # swept or never committed
+
+        rows = [
+            {"name": name, "kind": "table", "segment": entry["segment"],
+             "rows": int(entry["row_count"]),
+             "bytes": size_of(entry["segment"])}
+            for name, entry in sorted(tables.items())
+        ]
+        if cache is not None:
+            rows.append({"name": _CACHE_SEGMENT, "kind": "cache",
+                         "segment": cache["segment"],
+                         "rows": len(cache.get("entries", ())),
+                         "bytes": size_of(cache["segment"])})
+        for segment, directory in sorted(promoted.items()):
+            rows.append({"name": _PROMOTED_SEGMENT, "kind": "promoted",
+                         "segment": segment, "rows": len(directory),
+                         "bytes": size_of(segment)})
+        return rows
+
     # -- tables -----------------------------------------------------------------
 
     def table_names(self) -> list[str]:

@@ -198,6 +198,51 @@ class TestExport:
         assert payload["note"] == "x"
         assert payload["metrics"]["repro_depth"]["samples"][0]["value"] == 2
 
+    # -- exposition escaping (format 0.0.4) regressions --------------------
+
+    HOSTILE_LABELS = [
+        'SELECT * FROM t WHERE a = "x" AND b = 1',   # quotes + equals
+        "line1\nline2",                              # newline
+        "C:\\temp\\dump",                            # backslashes
+        "\\n",                                       # literal \ then n
+        'mix="v",other={1,2}\\',                     # comma/braces/trailing \
+        "SELECT s, count(*) FROM sys.queries GROUP BY s",
+    ]
+
+    def test_hostile_label_values_round_trip(self):
+        # SQL fragments (and worse) as label values must render per the
+        # text format and parse back byte-identically: a sequential
+        # replace-chain unescaper corrupts "\\n" and an '='-counting
+        # completeness check false-fails on the WHERE clause.
+        reg = MetricsRegistry()
+        c = reg.counter("repro_sql_total", "by statement", labels=("sql",))
+        for value in self.HOSTILE_LABELS:
+            c.inc(sql=value)
+        samples = parse_exposition(render_prometheus(reg))
+        seen = {labels["sql"] for name, labels, _v in samples
+                if name == "repro_sql_total"}
+        assert seen == set(self.HOSTILE_LABELS)
+
+    def test_help_text_escapes_newline_and_backslash(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_g", "first\nsecond \\ third").set(1)
+        text = render_prometheus(reg)
+        (help_line,) = [l for l in text.splitlines()
+                        if l.startswith("# HELP")]
+        assert help_line == "# HELP repro_g first\\nsecond \\\\ third"
+        # Still one logical line per sample: strict parse accepts it.
+        assert parse_exposition(text) == [("repro_g", {}, 1.0)]
+
+    def test_parser_rejects_unknown_or_trailing_escape(self):
+        with pytest.raises(MetricsError):
+            parse_exposition('m{a="bad\\q"} 1\n')
+        with pytest.raises(MetricsError):
+            parse_exposition('m{a="trailing\\"} 1\n')
+
+    def test_parser_rejects_unseparated_label_pairs(self):
+        with pytest.raises(MetricsError):
+            parse_exposition('m{a="1"b="2"} 1\n')
+
 
 # ---------------------------------------------------------------------------
 # concurrency stress
