@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Remote serving: ``repro-serve`` as a subprocess, queried over TCP.
+
+Launches the ``repro-serve`` entry point (``python -m repro.net.cli``)
+against a synthetic mSEED repository, waits for its ``ready`` line,
+then drives it from the two remote clients:
+
+* the sync client (:func:`repro.net.connect_tcp`) — same DB-API cursor
+  surface as an in-process connection, plus typed parameters and the
+  full per-query report across the wire;
+* the asyncio client (:func:`repro.net.connect_tcp_async`) — several
+  cursors pipelined over one connection with ``asyncio.gather``.
+
+Finally the server is asked to shut down with SIGTERM and drains
+gracefully.
+
+Run:  python examples/remote_client.py
+"""
+
+import asyncio
+import signal
+import subprocess
+import sys
+import tempfile
+
+from repro import build_repository
+from repro.mseed.synthesize import RepositorySpec
+from repro.net import connect_tcp, connect_tcp_async
+
+TOKEN = "example-secret"
+
+
+def start_server(root: str) -> tuple[subprocess.Popen, str, int]:
+    """Start ``repro-serve`` and parse its machine-readable ready line."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.net.cli",
+         "--repo", root, "--mode", "lazy",
+         "--tcp-port", "0", "--auth-token", f"example={TOKEN}"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    for line in proc.stdout:
+        line = line.strip()
+        print(f"   [server] {line}")
+        if line.startswith("repro-serve: ready"):
+            tcp = next(part for part in line.split() if part.startswith("tcp="))
+            host, port = tcp[len("tcp="):].rsplit(":", 1)
+            return proc, host, int(port)
+    raise RuntimeError("repro-serve exited before becoming ready")
+
+
+def sync_tour(host: str, port: int) -> None:
+    print("\n2. sync client: DB-API cursors over TCP ...")
+    conn = connect_tcp(host, port, token=TOKEN)
+    try:
+        count = conn.execute("SELECT COUNT(*) FROM mseed.records").scalar()
+        print(f"   {count} records visible remotely")
+
+        cursor = conn.execute(
+            "SELECT station, COUNT(*) AS files FROM mseed.files "
+            "WHERE sample_rate > ? GROUP BY station ORDER BY station",
+            (1.0,))
+        for station, files in cursor.fetchall():
+            print(f"   {station:>6}: {files} files")
+        report = cursor.report
+        print(f"   report crossed the wire too: rows_out={report.rows_out} "
+              f"execute_s={report.execute_s * 1e3:.1f} ms")
+
+        stmt = conn.prepare(
+            "SELECT COUNT(*) FROM mseed.files WHERE station = :sta")
+        for sta in ("HGN", "DBN"):
+            print(f"   prepared lookup {sta}: "
+                  f"{stmt.execute({'sta': sta}).scalar()} files")
+
+        rows = conn.execute(
+            "SELECT session, peer, principal FROM sys.connections").fetchall()
+        print(f"   sys.connections sees {len(rows)} live connection(s): "
+              f"{rows[0][2]!r} from {rows[0][1]}")
+    finally:
+        conn.close()
+
+
+async def async_tour(host: str, port: int) -> None:
+    print("\n3. asyncio client: pipelined cursors on one connection ...")
+    conn = await connect_tcp_async(host, port, token=TOKEN)
+    async with conn:
+        stations = [s for (s,) in await (await conn.execute(
+            "SELECT DISTINCT station FROM mseed.files ORDER BY station"
+        )).fetchall()]
+
+        async def span(station: str):
+            cursor = await conn.execute(
+                "SELECT MIN(D.sample_value), MAX(D.sample_value) "
+                "FROM mseed.dataview WHERE F.station = ?", (station,))
+            low, high = await cursor.fetchone()
+            return station, low, high
+
+        for station, low, high in await asyncio.gather(
+                *[span(s) for s in stations]):
+            print(f"   {station:>6}: samples span [{low:,.0f}, {high:,.0f}]")
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="lazyetl-remote-")
+    print(f"1. synthesising an mSEED repository under {root} ...")
+    build_repository(root, RepositorySpec(files_per_stream=2))
+
+    proc, host, port = start_server(root)
+    try:
+        sync_tour(host, port)
+        asyncio.run(async_tour(host, port))
+
+        print("\n4. SIGTERM: the server drains in-flight cursors and exits ...")
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=30)
+        print(f"   server exited with code {code}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,8 @@ Packages:
 * :mod:`repro.etl` — the Lazy ETL core plus eager and external baselines;
 * :mod:`repro.service` — concurrent query serving: admission control,
   session fairness, single-flight extraction coalescing;
+* :mod:`repro.net` — the wire protocol: TCP server with server-side
+  cursors, sync and asyncio remote clients, the ``repro-serve`` CLI;
 * :mod:`repro.seismology` — the demo application: schema, Figure-1
   queries, STA/LTA event hunting, metadata browsing;
 * :mod:`repro.bench` — workload generators and the experiment harness.
@@ -49,6 +51,7 @@ from repro.mseed import (
     SimulatedRemoteRepository,
     build_repository,
 )
+from repro.net import connect_tcp, connect_tcp_async
 from repro.seismology import (
     SeismicWarehouse,
     analytical_suite,
@@ -71,6 +74,8 @@ __all__ = [
     "Cursor",
     "PreparedStatement",
     "connect",
+    "connect_tcp",
+    "connect_tcp_async",
     "Database",
     "Result",
     "LazyETL",

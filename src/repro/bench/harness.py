@@ -1014,6 +1014,180 @@ def run_e15(*, smoke: bool = False, repeats: int | None = None
     return table
 
 
+def run_e16(*, smoke: bool = False, connections: int | None = None,
+            queries_per_conn: int | None = None) -> ExperimentTable:
+    """The wire protocol under load: 100+ real TCP connections.
+
+    Serves the shared demo warehouse over TCP
+    (``serve(tcp_port=0, auth_tokens=...)``) and drives it with real
+    concurrent connections from the asyncio client — every query pays
+    framing, auth, admission, server-side cursors and codec transport —
+    against an in-process baseline where the same sessions submit
+    through :meth:`WarehouseService.session` directly (no socket).
+    Reports p50/p95/p99 latency and aggregate throughput for both
+    paths, then verifies graceful drain *under load*: live streaming
+    cursors opened before ``close()`` must run to completion through
+    the drain window.
+
+    Acceptance (ISSUE 9): >= 100 concurrent connections sustained,
+    zero dropped queries, drain clean under load.
+    """
+    import asyncio
+    import threading
+
+    from repro.net import connect_tcp, connect_tcp_async
+
+    n_conns = connections if connections is not None else 100
+    n_queries = queries_per_conn if queries_per_conn is not None \
+        else (1 if smoke else 4)
+    token = "bench-e16-secret"
+
+    root, manifest = shared_demo_repo()
+    station = manifest.entries[0].station
+    sql = ("SELECT station, COUNT(*) AS n FROM mseed.files "
+           f"WHERE station <> '{station}' GROUP BY station ORDER BY station")
+    drain_sql = "SELECT sample_time, sample_value FROM mseed.dataview"
+
+    table = ExperimentTable(
+        "E16",
+        "wire protocol at 100+ concurrent TCP connections (ISSUE 9)",
+        ["path", "connections", "queries", "wall", "throughput",
+         "p50", "p95", "p99"],
+    )
+
+    wh = SeismicWarehouse(root, mode="lazy")
+    wh.query(sql)  # warm: measure serving, not first-touch extraction
+    drain_rows = wh.query(drain_sql).row_count
+    # A streaming cursor pins a worker while its backpressure window is
+    # full, so the drain phase needs fewer live cursors than workers.
+    n_drain = 6
+    service = wh.serve(max_workers=8, queue_depth=4 * n_conns,
+                       tcp_port=0, auth_tokens=[token],
+                       tcp_drain_s=60.0)
+    dropped = 0
+    try:
+        # -- in-process baseline: same sessions, no socket ------------------
+        local_latencies: list[float] = []
+        lock = threading.Lock()
+
+        def local_worker(i: int) -> None:
+            session = service.session(f"e16-local-{i}")
+            mine = []
+            for _ in range(n_queries):
+                started = time.perf_counter()
+                session.query(sql)
+                mine.append(time.perf_counter() - started)
+            with lock:
+                local_latencies.extend(mine)
+
+        threads = [threading.Thread(target=local_worker, args=(i,))
+                   for i in range(n_conns)]
+        wall_local, _ = _timed(lambda: [
+            [t.start() for t in threads], [t.join() for t in threads]])
+
+        # -- remote: real concurrent TCP connections ------------------------
+        async def remote_all() -> tuple[list[float], int]:
+            conns = await asyncio.gather(*[
+                connect_tcp_async("127.0.0.1", service.tcp_port,
+                                  token=token)
+                for _ in range(n_conns)])
+            failures = 0
+            latencies: list[float] = []
+
+            async def drive(conn) -> None:
+                nonlocal failures
+                for _ in range(n_queries):
+                    started = time.perf_counter()
+                    try:
+                        cursor = await conn.execute(sql)
+                        await cursor.fetchall()
+                    except Exception:
+                        failures += 1
+                    else:
+                        latencies.append(time.perf_counter() - started)
+                await conn.close()
+
+            # Every connection is open before the first query fires, so
+            # the peak concurrency really is n_conns.
+            await asyncio.gather(*[drive(c) for c in conns])
+            return latencies, failures
+
+        started = time.perf_counter()
+        remote_latencies, dropped = asyncio.run(remote_all())
+        wall_remote = time.perf_counter() - started
+
+        def add_path(label: str, wall: float, lat: list[float]) -> None:
+            p50, p95, p99 = np.percentile(lat, [50, 95, 99])
+            table.add_row(label, n_conns, len(lat),
+                          format_duration(wall),
+                          f"{len(lat) / wall:.0f} q/s",
+                          format_duration(p50), format_duration(p95),
+                          format_duration(p99))
+
+        add_path("in-process sessions", wall_local, local_latencies)
+        add_path("remote TCP (asyncio)", wall_remote, remote_latencies)
+
+        # -- graceful drain under load --------------------------------------
+        drain_conns = [connect_tcp("127.0.0.1", service.tcp_port,
+                                   token=token) for _ in range(n_drain)]
+        drain_batch = 4096
+        cursors = []
+        for conn in drain_conns:
+            cursor = conn.cursor(batch_rows=drain_batch)
+            cursor.execute(drain_sql)
+            # one batch fetched: the stream is live when close() lands
+            first = len(cursor.fetchmany(drain_batch))
+            cursors.append((cursor, first))
+        fetched: list[object] = [None] * len(cursors)
+
+        def finish(i: int) -> None:
+            cursor, first = cursors[i]
+            try:
+                fetched[i] = first + len(cursor.fetchall())
+            except Exception as exc:  # noqa: BLE001 - recorded, asserted below
+                fetched[i] = exc
+
+        finishers = [threading.Thread(target=finish, args=(i,))
+                     for i in range(len(cursors))]
+        for thread in finishers:
+            thread.start()
+        service.close()  # drain: in-flight cursors finish, then stop
+        for thread in finishers:
+            thread.join(timeout=120)
+        for conn in drain_conns:
+            conn.close()
+        drain_clean = all(count == drain_rows for count in fetched)
+    finally:
+        service.close()
+        wh.close()
+
+    overhead = (np.percentile(remote_latencies, 50)
+                / max(np.percentile(local_latencies, 50), 1e-9))
+    table.add_note(
+        "remote = asyncio client, every query over a real authenticated "
+        "TCP connection with codec-compressed batches; baseline = the "
+        "same session count submitting in-process.  Warm warehouse: "
+        "both paths measure serving, not extraction."
+    )
+    table.add_note(
+        f"wire overhead at p50: {overhead:.1f}x the in-process path; "
+        f"drain under load: {len(cursors)} live streaming cursors "
+        f"{'all finished' if drain_clean else 'DID NOT finish'} through "
+        "close()."
+    )
+    table.add_note(
+        f"acceptance (ISSUE 9): >= 100 concurrent connections, 0 dropped, "
+        f"graceful drain under load; measured {n_conns} connections, "
+        f"{dropped} dropped, drain_clean={str(drain_clean).lower()}."
+    )
+    # Machine-checkable acceptance values (BENCH_E16.json):
+    table.add_row(
+        "acceptance: connections / dropped / drain_clean",
+        n_conns, dropped, str(drain_clean).lower(), "-", "-", "-", "-",
+    )
+    return table
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E1": run_e1,
     "E2": run_e2,
@@ -1029,6 +1203,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E12": run_e12,
     "E13": run_e13,
     "E15": run_e15,
+    "E16": run_e16,
 }
 
 # Reduced-parameter variants for CI smoke runs; experiments not listed
@@ -1041,4 +1216,5 @@ SMOKE_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E12": lambda: run_e12(smoke=True),
     "E13": lambda: run_e13(smoke=True),
     "E15": lambda: run_e15(smoke=True),
+    "E16": lambda: run_e16(smoke=True),
 }

@@ -157,6 +157,39 @@ class ServiceClosedError(ServiceError):
 
 
 # ---------------------------------------------------------------------------
+# Wire-protocol errors (remote serving)
+# ---------------------------------------------------------------------------
+
+
+class WireError(ServiceError):
+    """Base class for TCP wire-protocol errors (client and server side)."""
+
+
+class WireProtocolError(WireError):
+    """A frame violated the wire format: torn, oversized, unknown type,
+    or a payload that does not decode.  The connection is closed after
+    the peer is sent a typed error frame."""
+
+
+class WireAuthError(WireError):
+    """The session handshake failed authentication."""
+
+
+class WireShutdownError(WireError):
+    """The server aborted the session because it is draining/shutting
+    down past its drain deadline."""
+
+
+class RemoteQueryError(DatabaseError):
+    """A query failed on the remote server; carries the remote exception
+    class name in :attr:`remote_type`."""
+
+    def __init__(self, message: str, remote_type: str = "") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+# ---------------------------------------------------------------------------
 # Observability errors
 # ---------------------------------------------------------------------------
 

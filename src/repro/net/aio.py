@@ -1,0 +1,385 @@
+"""The asyncio-native remote client: ``connect_tcp_async``.
+
+Same wire protocol as :mod:`repro.net.client`, driven from a coroutine:
+:class:`AsyncConnection` multiplexes any number of
+:class:`AsyncCursor`\\ s over one authenticated TCP session (an
+``asyncio.Lock`` serialises the request/response exchanges, so
+concurrent coroutines pipeline cleanly instead of interleaving frames),
+and every fetch surface is awaitable — ``await cur.fetchall()``,
+``async for row in cur``.
+
+The sync client exists for scripts and notebooks; this one is for
+servers and load generators that hold hundreds of connections open —
+bench E16 drives exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Optional
+
+from repro.db.exec.result import Result
+from repro.errors import ExecutionError, WireProtocolError
+from repro.net import frames
+from repro.net.client import RemoteReport, raise_wire_error
+from repro.net.frames import (
+    MSG_BATCH,
+    MSG_CLOSE_CURSOR,
+    MSG_CLOSED,
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_FETCH,
+    MSG_GOODBYE,
+    MSG_HELLO,
+    MSG_OPEN,
+    MSG_OPENED,
+    MSG_PING,
+    MSG_PONG,
+    MSG_WELCOME,
+    PROTOCOL_VERSION,
+)
+
+__all__ = ["connect_tcp_async", "AsyncConnection", "AsyncCursor"]
+
+DEFAULT_BATCH_ROWS = 1024
+
+
+class AsyncCursor:
+    """One awaitable cursor over a server-side cursor.
+
+    Minimal DB-API shape (``execute`` / ``fetchone`` / ``fetchmany`` /
+    ``fetchall`` / ``async for``) plus the engine extensions
+    (:attr:`report`, :attr:`trace`, :attr:`description`).
+    """
+
+    def __init__(self, conn: "AsyncConnection",
+                 batch_rows: Optional[int] = None) -> None:
+        self._conn = conn
+        self._batch_rows = batch_rows
+        self._cursor_id: Optional[int] = None
+        self.names: list[str] = []
+        self.dtypes: list = []
+        self.report: Optional[RemoteReport] = None
+        self.trace: list[dict] = []
+        self.rowcount = -1
+        self._buffer: list[tuple] = []
+        self._buffer_pos = 0
+        self._finished = True
+        self._closed = False
+
+    # -- execution -----------------------------------------------------------
+
+    async def execute(self, sql: str, params=None, *,
+                      batch_rows: Optional[int] = None) -> "AsyncCursor":
+        self._check_open()
+        await self._abandon()
+        obj = await self._conn._request_open(
+            sql, params, batch_rows or self._batch_rows or DEFAULT_BATCH_ROWS)
+        self._cursor_id = obj["cursor"]
+        self.names = obj["names"]
+        self.dtypes = frames.dtypes_from_names(obj["dtypes"])
+        self.report = None
+        self.trace = []
+        self.rowcount = -1
+        self._buffer = []
+        self._buffer_pos = 0
+        self._finished = False
+        return self
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        if self._cursor_id is None:
+            return None
+        return [(name, dtype, None, None, None, None, None)
+                for name, dtype in zip(self.names, self.dtypes)]
+
+    # -- fetching ------------------------------------------------------------
+
+    async def fetchone(self) -> Optional[tuple]:
+        self._require_executed()
+        while (len(self._buffer) - self._buffer_pos) < 1 \
+                and not self._finished:
+            await self._pull()
+        if self._buffer_pos >= len(self._buffer):
+            return None
+        row = self._buffer[self._buffer_pos]
+        self._buffer_pos += 1
+        return row
+
+    async def fetchmany(self, size: int = 1) -> list[tuple]:
+        self._require_executed()
+        if size <= 0:
+            return []
+        while (len(self._buffer) - self._buffer_pos) < size \
+                and not self._finished:
+            await self._pull()
+        end = min(self._buffer_pos + size, len(self._buffer))
+        rows = self._buffer[self._buffer_pos:end]
+        self._buffer_pos = end
+        return rows
+
+    async def fetchall(self) -> list[tuple]:
+        self._require_executed()
+        while not self._finished:
+            await self._pull()
+        rows = self._buffer[self._buffer_pos:]
+        self._buffer_pos = len(self._buffer)
+        return rows
+
+    async def scalar(self):
+        rows = await self.fetchall()
+        if len(rows) != 1 or len(rows[0]) != 1:
+            raise ExecutionError("scalar() needs a 1x1 result")
+        return rows[0][0]
+
+    def __aiter__(self) -> AsyncIterator[tuple]:
+        return self._iterate()
+
+    async def _iterate(self) -> AsyncIterator[tuple]:
+        while True:
+            row = await self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        await self._abandon()
+        self._closed = True
+
+    async def __aenter__(self) -> "AsyncCursor":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    async def _pull(self) -> None:
+        """One FETCH round trip into the row buffer."""
+        events = await self._conn._request_fetch(self._cursor_id)
+        for kind, value in events:
+            if kind == "batch":
+                cursor_id, result = frames.decode_result_batch(
+                    value, self.names)
+                if cursor_id != self._cursor_id:
+                    raise WireProtocolError(
+                        f"batch for cursor {cursor_id}, "
+                        f"expected {self._cursor_id}")
+                if self._buffer_pos:
+                    self._buffer = self._buffer[self._buffer_pos:]
+                    self._buffer_pos = 0
+                self._buffer.extend(result.rows())
+            elif kind == "done":
+                self.report = RemoteReport(value.get("report", {}),
+                                           value.get("timings"))
+                self.trace = value.get("trace", [])
+                self.rowcount = int(self.report.to_dict()
+                                    .get("rows_out", -1))
+                self._finished = True
+            else:  # error payload
+                self._finished = True
+                raise_wire_error(value)
+
+    async def _abandon(self) -> None:
+        """Close the open server cursor, if any stream is still live."""
+        if self._cursor_id is not None and not self._finished \
+                and not self._conn.closed:
+            await self._conn._request_close_cursor(self._cursor_id)
+        self._finished = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("cursor is closed")
+
+    def _require_executed(self) -> None:
+        self._check_open()
+        if self._cursor_id is None:
+            raise ExecutionError("no statement has been executed")
+
+
+class AsyncConnection:
+    """One authenticated wire session, shared by any number of cursors."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, welcome: dict, *,
+                 batch_rows: Optional[int] = None,
+                 fetch_batches: int = 1,
+                 max_frame_bytes: int = frames.DEFAULT_MAX_FRAME_BYTES
+                 ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._batch_rows = batch_rows
+        self._fetch_batches = max(1, fetch_batches)
+        self._max_frame_bytes = max_frame_bytes
+        self._closed = False
+        self.session = welcome.get("session", "")
+        self.principal = welcome.get("principal", "")
+        self.server_protocol = welcome.get("protocol", 0)
+
+    # -- cursors -------------------------------------------------------------
+
+    def cursor(self, *, batch_rows: Optional[int] = None) -> AsyncCursor:
+        self._check_open()
+        return AsyncCursor(self, batch_rows or self._batch_rows)
+
+    async def execute(self, sql: str, params=None) -> AsyncCursor:
+        return await self.cursor().execute(sql, params)
+
+    async def ping(self) -> bool:
+        self._check_open()
+        async with self._lock:
+            await self._send(frames.pack_frame(MSG_PING))
+            msg_type, _ = await self._recv()
+        return msg_type == MSG_PONG
+
+    # -- request/response exchanges (one in flight at a time) ----------------
+
+    async def _request_open(self, sql: str, params,
+                            batch_rows: int) -> dict:
+        self._check_open()
+        async with self._lock:
+            await self._send(frames.pack_json_frame(MSG_OPEN, {
+                "sql": sql,
+                "params": frames.pack_params(params),
+                "batch_rows": batch_rows,
+            }))
+            msg_type, payload = await self._recv()
+        if msg_type == MSG_ERROR:
+            raise_wire_error(frames.decode_json_payload(payload))
+        if msg_type != MSG_OPENED:
+            raise WireProtocolError(
+                f"expected OPENED, got {frames.MESSAGE_NAMES[msg_type]}")
+        return frames.decode_json_payload(payload)
+
+    async def _request_fetch(self, cursor_id: int) -> list[tuple]:
+        """One FETCH exchange → ``[("batch", bytes) | ("done", obj) |
+        ("error", obj), ...]``, response fully read under the lock."""
+        self._check_open()
+        want = self._fetch_batches
+        events: list[tuple] = []
+        async with self._lock:
+            await self._send(frames.pack_json_frame(MSG_FETCH, {
+                "cursor": cursor_id, "max_batches": want}))
+            received = 0
+            while received < want:
+                msg_type, payload = await self._recv()
+                if msg_type == MSG_BATCH:
+                    events.append(("batch", payload))
+                    received += 1
+                    continue
+                if msg_type == MSG_DONE:
+                    events.append(
+                        ("done", frames.decode_json_payload(payload)))
+                elif msg_type == MSG_ERROR:
+                    events.append(
+                        ("error", frames.decode_json_payload(payload)))
+                else:
+                    raise WireProtocolError(
+                        f"unexpected {frames.MESSAGE_NAMES[msg_type]} "
+                        "during FETCH")
+                break
+        return events
+
+    async def _request_close_cursor(self, cursor_id: int) -> None:
+        self._check_open()
+        async with self._lock:
+            await self._send(frames.pack_json_frame(
+                MSG_CLOSE_CURSOR, {"cursor": cursor_id}))
+            msg_type, payload = await self._recv()
+        if msg_type == MSG_ERROR:
+            raise_wire_error(frames.decode_json_payload(payload))
+        if msg_type != MSG_CLOSED:
+            raise WireProtocolError(
+                f"expected CLOSED, got {frames.MESSAGE_NAMES[msg_type]}")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.write(frames.pack_frame(MSG_GOODBYE))
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def __aenter__(self) -> "AsyncConnection":
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("connection is closed")
+
+    # -- framing -------------------------------------------------------------
+
+    async def _send(self, data: bytes) -> None:
+        try:
+            self._writer.write(data)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._closed = True
+            raise ConnectionError(f"connection lost: {exc}") from exc
+
+    async def _recv(self) -> tuple[int, bytes]:
+        try:
+            header = await self._reader.readexactly(frames.HEADER_SIZE)
+            msg_type, length = frames.split_header(
+                header, max_frame_bytes=self._max_frame_bytes)
+            payload = await self._reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            self._closed = True
+            raise ConnectionError("connection closed by server") from exc
+        except (ConnectionError, OSError) as exc:
+            self._closed = True
+            raise ConnectionError(f"connection lost: {exc}") from exc
+        return msg_type, payload
+
+
+async def connect_tcp_async(host: str, port: int, *, token: str,
+                            batch_rows: Optional[int] = None,
+                            fetch_batches: int = 1,
+                            max_frame_bytes: int =
+                            frames.DEFAULT_MAX_FRAME_BYTES
+                            ) -> AsyncConnection:
+    """Open an authenticated asyncio connection to a served warehouse."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(frames.pack_json_frame(MSG_HELLO, {
+            "token": token, "protocol": PROTOCOL_VERSION}))
+        await writer.drain()
+        header = await reader.readexactly(frames.HEADER_SIZE)
+        msg_type, length = frames.split_header(
+            header, max_frame_bytes=max_frame_bytes)
+        payload = await reader.readexactly(length)
+        if msg_type == MSG_ERROR:
+            raise_wire_error(frames.decode_json_payload(payload))
+        if msg_type != MSG_WELCOME:
+            raise WireProtocolError(
+                f"expected WELCOME, got {frames.MESSAGE_NAMES[msg_type]}")
+        welcome = frames.decode_json_payload(payload)
+    except BaseException:
+        writer.close()
+        raise
+    return AsyncConnection(reader, writer, welcome, batch_rows=batch_rows,
+                           fetch_batches=fetch_batches,
+                           max_frame_bytes=max_frame_bytes)

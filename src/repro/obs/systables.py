@@ -80,6 +80,13 @@ SEGMENTS_COLUMNS: list[tuple[str, DataType]] = [
     ("name", S), ("kind", S), ("segment", S), ("rows", B), ("bytes", B),
 ]
 
+CONNECTIONS_COLUMNS: list[tuple[str, DataType]] = [
+    ("session", S), ("peer", S), ("principal", S),
+    ("open_cursors", B), ("cursors_total", B),
+    ("bytes_in", B), ("bytes_out", B),
+    ("idle_s", D), ("connected_at", D),
+]
+
 SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, DataType]]] = {
     "queries": QUERIES_COLUMNS,
     "sessions": SESSIONS_COLUMNS,
@@ -89,6 +96,7 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, DataType]]] = {
     "heat": HEAT_COLUMNS,
     "promoted": PROMOTED_COLUMNS,
     "segments": SEGMENTS_COLUMNS,
+    "connections": CONNECTIONS_COLUMNS,
 }
 """Schema reference for every ``sys.*`` table (README + HTTP docs)."""
 
@@ -224,3 +232,21 @@ def install_warehouse_system_tables(warehouse) -> None:
     _register(catalog, "heat", HEAT_COLUMNS, heat)
     _register(catalog, "promoted", PROMOTED_COLUMNS, promoted)
     _register(catalog, "segments", SEGMENTS_COLUMNS, segments)
+
+
+# -- wire-server table -------------------------------------------------------
+
+
+def install_connections_table(db, snapshot: Callable[[], list]) -> None:
+    """Register ``sys.connections`` over a wire server's live sessions.
+
+    ``snapshot`` returns one row dict per open TCP session (see
+    :meth:`repro.net.server.WireServer.connections_snapshot`).
+    Re-registration replaces the provider, so serving the same
+    warehouse again after a shutdown swaps in the new server's view.
+    """
+
+    def connections() -> dict:
+        return rows_to_columns(snapshot(), CONNECTIONS_COLUMNS)
+
+    _register(db.catalog, "connections", CONNECTIONS_COLUMNS, connections)

@@ -29,7 +29,7 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import ServiceClosedError, ServiceError
 from repro.obs.http import ObservabilityServer
@@ -74,6 +74,17 @@ class ServiceConfig:
     # publishes the resolved one).
     http_port: Optional[int] = None
     http_host: str = "127.0.0.1"
+    # TCP query wire protocol (repro.net): None disables it, 0 binds an
+    # ephemeral port (service.tcp_port publishes the resolved one).
+    # Serving TCP requires at least one pre-shared auth token — either a
+    # plain secret string or "principal=secret" to name the principal.
+    tcp_port: Optional[int] = None
+    tcp_host: str = "127.0.0.1"
+    auth_tokens: Sequence[str] = ()
+    tcp_max_frame_bytes: int = 16 * 1024 * 1024
+    cursor_window_batches: int = 4    # per-cursor server-side batch window
+    cursor_stall_timeout_s: float = 30.0  # abort cursors nobody fetches
+    tcp_drain_s: float = 5.0          # graceful-drain deadline on close
 
     def __post_init__(self) -> None:
         if self.max_workers <= 0:
@@ -103,6 +114,28 @@ class ServiceConfig:
                 not (0 <= self.http_port <= 65535):
             raise ServiceError("http_port must be in [0, 65535] "
                                "(or None to disable the endpoint)")
+        if self.tcp_port is not None:
+            if not (0 <= self.tcp_port <= 65535):
+                raise ServiceError("tcp_port must be in [0, 65535] "
+                                   "(or None to disable the wire server)")
+            tokens = tuple(self.auth_tokens)
+            if not tokens:
+                raise ServiceError(
+                    "serving TCP requires at least one auth token "
+                    "(ServiceConfig.auth_tokens) — the wire protocol "
+                    "refuses unauthenticated sessions")
+            if any(not isinstance(t, str) or not t for t in tokens):
+                raise ServiceError("auth tokens must be non-empty strings")
+        if self.tcp_max_frame_bytes <= 0:
+            raise ServiceError("tcp_max_frame_bytes must be positive")
+        if self.cursor_window_batches <= 0:
+            raise ServiceError(
+                "cursor_window_batches must be positive (the window is "
+                "what bounds per-cursor server memory)")
+        if self.cursor_stall_timeout_s <= 0:
+            raise ServiceError("cursor_stall_timeout_s must be positive")
+        if self.tcp_drain_s < 0:
+            raise ServiceError("tcp_drain_s cannot be negative")
 
 
 @dataclass
@@ -157,16 +190,30 @@ class ServiceStats:
 
 class _QueuedQuery:
     __slots__ = ("session_id", "sql", "params", "future", "submitted_at",
-                 "submit_seq")
+                 "submit_seq", "sink", "batch_rows")
 
-    def __init__(self, session_id: str, sql: str, future: Future,
-                 submit_seq: int, params: object = None) -> None:
+    def __init__(self, session_id: str, sql: str, future: Optional[Future],
+                 submit_seq: int, params: object = None, *,
+                 sink: object = None,
+                 batch_rows: Optional[int] = None) -> None:
         self.session_id = session_id
         self.sql = sql
         self.params = params
         self.future = future
         self.submitted_at = time.perf_counter()
         self.submit_seq = submit_seq
+        # Streaming submissions (the TCP wire layer's server-side
+        # cursors) carry a sink instead of a future: the worker pushes
+        # row batches into it as they are produced.
+        self.sink = sink
+        self.batch_rows = batch_rows
+
+    def fail(self, exc: BaseException) -> None:
+        """Route a pre-execution failure to whoever is waiting."""
+        if self.sink is not None:
+            self.sink.fail(exc)
+        elif self.future is not None:
+            self.future.set_exception(exc)
 
 
 class ClientSession:
@@ -270,6 +317,8 @@ class WarehouseService:
         self.snapshotter: Optional[MetricsSnapshotter] = None
         self._service_collector = None
         self.http: Optional[ObservabilityServer] = None
+        self.wire = None  # repro.net.server.WireServer when config.tcp_port
+        self._close_lock = threading.Lock()
         self.start()
 
     # -- lifecycle ----------------------------------------------------------------
@@ -315,6 +364,10 @@ class WarehouseService:
             self.http = ObservabilityServer(
                 self, host=self.config.http_host,
                 port=self.config.http_port).start()
+        if self.config.tcp_port is not None:
+            from repro.net.server import WireServer
+
+            self.wire = WireServer(self).start()
         self._started = True
         logger.info(
             "service started: %d workers, queue depth %d, coalesce=%s",
@@ -354,10 +407,22 @@ class WarehouseService:
         return BackgroundPromoter(promoter)
 
     def close(self) -> None:
-        """Stop accepting work, finish in-flight queries, detach hooks."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop accepting work, finish in-flight queries, detach hooks.
+
+        Idempotent: a second (or concurrent) ``close()`` is a no-op —
+        the first caller tears everything down, later callers return
+        immediately instead of re-joining already-dead workers.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self.wire is not None:
+            # Drain the wire first, while workers are still alive to
+            # finish in-flight server-side cursors: stop accepting,
+            # finish cursors up to the deadline, then abort with a
+            # typed shutdown frame.
+            self.wire.stop(drain_s=self.config.tcp_drain_s)
         if self.http is not None:
             self.http.stop()
         if self.snapshotter is not None:
@@ -366,8 +431,7 @@ class WarehouseService:
             self.promoter.stop()
         self.admission.close()
         for item in self.admission.drain():
-            item.future.set_exception(
-                ServiceClosedError("service shut down before execution"))
+            item.fail(ServiceClosedError("service shut down before execution"))
         for worker in self._workers:
             worker.join()
         binding = getattr(self.warehouse.pipeline, "binding", None)
@@ -416,6 +480,36 @@ class WarehouseService:
         self.admission.submit(session_id, item)
         return future
 
+    def submit_stream(self, session_id: str, sql: str, sink,
+                      params: object = None, *,
+                      batch_rows: Optional[int] = None) -> None:
+        """Enqueue a *streaming* SELECT whose batches feed ``sink``.
+
+        The wire layer's server-side cursors run through here: the same
+        admission queue and fairness as :meth:`submit`, but the worker
+        pushes row batches into ``sink`` as the engine produces them
+        instead of materialising a full result.  ``sink`` must expose
+        ``opened(names, dtypes)``, ``push(result) -> bool`` (False stops
+        the stream — client gone), ``fail(exc)`` and
+        ``finish(report, trace, *, queued_s, execute_s, total_s)``.
+
+        SELECT-only, like :meth:`ClientSession.cursor`: DDL/DML belong
+        on a direct connection outside the service.
+        """
+        from repro.db.sql import ast
+        from repro.db.sql.parser import parse_statement
+
+        if self._closed:
+            raise ServiceClosedError("service is shut down")
+        if not isinstance(parse_statement(sql), ast.SelectStmt):
+            raise ServiceError(
+                "the wire protocol serves queries only (SELECT); run "
+                "DDL/DML on a direct connection outside the service")
+        item = _QueuedQuery(session_id, sql, None,
+                            next(self._submit_counter), params,
+                            sink=sink, batch_rows=batch_rows)
+        self.admission.submit(session_id, item)
+
     def query(self, sql: str, *, session: Optional[str] = None,
               params: object = None) -> QueryOutcome:
         """One-shot convenience: submit on a (named) session and wait."""
@@ -435,6 +529,9 @@ class WarehouseService:
                 continue
             queued_s = time.perf_counter() - item.submitted_at
             self._queue_wait_seconds.observe(queued_s)
+            if item.sink is not None:
+                self._run_stream(item, queued_s)
+                continue
             with self._in_flight:
                 started = time.perf_counter()
                 try:
@@ -476,12 +573,69 @@ class WarehouseService:
                 )
             item.future.set_result(outcome)
 
+    def _run_stream(self, item: _QueuedQuery, queued_s: float) -> None:
+        """Drive one streaming (wire-cursor) execution on this worker.
+
+        The worker owns the stream end-to-end: it opens the query under
+        the session's :func:`query_context` (journal/slow-log
+        attribution), pushes each batch into the cursor's bounded sink
+        (blocking there is the backpressure — the full result is never
+        materialised for a slow client) and reports completion.  A sink
+        that refuses a push (client disconnected, cursor closed, stall
+        timeout) stops the stream; the engine still journals the partial
+        execution.
+        """
+        db = self.warehouse.db
+        sink = item.sink
+        with self._in_flight:
+            started = time.perf_counter()
+            run = None
+            try:
+                with query_context(item.session_id, queued_s=queued_s):
+                    run = db.open_query(item.sql, item.params,
+                                        batch_rows=item.batch_rows)
+                    sink.opened(run.names, run.dtypes)
+                    try:
+                        for batch in run.batches():
+                            if not sink.push(batch):
+                                break
+                    finally:
+                        run.close()
+            except BaseException as exc:
+                with self._stats_lock:
+                    self._failed += 1
+                self._queries_total.inc(status="error")
+                logger.warning("streamed query failed on %s: %s",
+                               item.session_id, exc)
+                sink.fail(exc)
+                return
+            execute_s = time.perf_counter() - started
+        total_s = time.perf_counter() - item.submitted_at
+        with self._stats_lock:
+            self._completed += 1
+            self._latencies.append(total_s)
+        self._queries_total.inc(status="ok")
+        self._query_seconds.observe(total_s, session=item.session_id)
+        if self.slow_log is not None:
+            self.slow_log.observe(
+                session_id=item.session_id, sql=item.sql,
+                total_s=total_s, queued_s=queued_s,
+                execute_s=execute_s, report=run.report,
+            )
+        sink.finish(run.report, run.trace, queued_s=queued_s,
+                    execute_s=execute_s, total_s=total_s)
+
     # -- introspection ----------------------------------------------------------------
 
     @property
     def http_port(self) -> Optional[int]:
         """The bound observability port (None when the endpoint is off)."""
         return None if self.http is None else self.http.port
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        """The bound query wire-protocol port (None when TCP is off)."""
+        return None if self.wire is None else self.wire.port
 
     def health(self) -> dict:
         """Liveness + degradation summary (the /healthz payload).
@@ -549,6 +703,9 @@ class WarehouseService:
             out["repro_promoter_demoted_units_total"] = total.demoted_units
         if self.slow_log is not None:
             out["repro_slow_queries_total"] = len(self.slow_log)
+        if self.wire is not None:
+            for name, value in self.wire.stats().items():
+                out[f"repro_wire_{name}"] = value
         return out
 
     def stats(self) -> ServiceStats:

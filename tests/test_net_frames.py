@@ -1,0 +1,206 @@
+"""Wire frame format: packing, params, batch codecs, hostile input."""
+
+import math
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.db.column import Column
+from repro.db.exec.result import Result
+from repro.db.types import DataType
+from repro.errors import WireProtocolError
+from repro.net import frames
+
+
+# -- frame header ------------------------------------------------------------
+
+
+def test_pack_split_roundtrip():
+    frame = frames.pack_frame(frames.MSG_PING, b"abc")
+    msg_type, length = frames.split_header(
+        frame[:frames.HEADER_SIZE], max_frame_bytes=1024)
+    assert msg_type == frames.MSG_PING
+    assert length == 3
+    assert frame[frames.HEADER_SIZE:] == b"abc"
+
+
+def test_split_header_rejects_torn():
+    with pytest.raises(WireProtocolError, match="torn"):
+        frames.split_header(b"\x01\x02", max_frame_bytes=1024)
+
+
+def test_split_header_rejects_oversized():
+    header = struct.pack("<IB", 10_000 + 1, frames.MSG_OPEN)
+    with pytest.raises(WireProtocolError, match="exceeds"):
+        frames.split_header(header, max_frame_bytes=9_999)
+
+
+def test_split_header_rejects_unknown_type():
+    header = struct.pack("<IB", 1, 0x7E)
+    with pytest.raises(WireProtocolError, match="unknown frame type"):
+        frames.split_header(header, max_frame_bytes=1024)
+
+
+def test_split_header_rejects_zero_length():
+    header = struct.pack("<IB", 0, frames.MSG_PING)
+    with pytest.raises(WireProtocolError, match="invalid frame length"):
+        frames.split_header(header, max_frame_bytes=1024)
+
+
+def test_json_payload_rejects_garbage():
+    with pytest.raises(WireProtocolError, match="not JSON"):
+        frames.decode_json_payload(b"\xff\xfe")
+    with pytest.raises(WireProtocolError, match="JSON object"):
+        frames.decode_json_payload(b"[1,2]")
+
+
+def test_recv_frame_sock_roundtrip_and_torn():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(frames.pack_json_frame(frames.MSG_PING, {"x": 1}))
+        msg_type, payload = frames.recv_frame_sock(b)
+        assert msg_type == frames.MSG_PING
+        assert frames.decode_json_payload(payload) == {"x": 1}
+
+        # A frame whose advertised payload never arrives is torn.
+        def tear():
+            a.sendall(struct.pack("<IB", 100, frames.MSG_OPEN) + b"short")
+            a.close()
+
+        t = threading.Thread(target=tear)
+        t.start()
+        with pytest.raises(WireProtocolError, match="torn frame"):
+            frames.recv_frame_sock(b)
+        t.join()
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_frame_sock_clean_eof_is_connection_error():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        with pytest.raises(ConnectionError):
+            frames.recv_frame_sock(b)
+    finally:
+        b.close()
+
+
+# -- parameter payloads ------------------------------------------------------
+
+
+def test_params_positional_roundtrip_bit_exact():
+    values = (1, -2**40, True, False, None, "naïve", 0.1, -0.0,
+              math.inf, -math.inf, 5e-324)
+    packed = frames.pack_params(values)
+    out = frames.unpack_params(packed)
+    assert isinstance(out, tuple)
+    for sent, got in zip(values, out):
+        if isinstance(sent, float):
+            assert struct.pack("<d", sent) == struct.pack("<d", got)
+        else:
+            assert sent == got and type(sent) is type(got)
+
+
+def test_params_nan_survives():
+    (value,) = frames.unpack_params(frames.pack_params((math.nan,)))
+    assert math.isnan(value)
+
+
+def test_params_named_roundtrip():
+    out = frames.unpack_params(frames.pack_params({"a": 1, "b": "x"}))
+    assert out == {"a": 1, "b": "x"}
+
+
+def test_params_none_passthrough():
+    assert frames.pack_params(None) is None
+    assert frames.unpack_params(None) is None
+
+
+def test_params_reject_unsupported_type():
+    with pytest.raises(WireProtocolError, match="cannot travel"):
+        frames.pack_params((b"bytes",))
+
+
+def test_params_reject_malformed_payloads():
+    with pytest.raises(WireProtocolError):
+        frames.unpack_params({"positional": [["?", 1]]})
+    with pytest.raises(WireProtocolError):
+        frames.unpack_params({"weird": []})
+    with pytest.raises(WireProtocolError):
+        frames.unpack_params("nope")
+
+
+# -- result batches ----------------------------------------------------------
+
+
+def _batch_roundtrip(result: Result) -> Result:
+    payload = frames.encode_result_batch(7, result)
+    cursor_id, decoded = frames.decode_result_batch(
+        payload, list(result.names))
+    assert cursor_id == 7
+    return decoded
+
+
+def test_batch_roundtrip_all_dtypes_with_nulls():
+    n = 100
+    valid = np.array([i % 7 != 0 for i in range(n)])
+    result = Result(
+        ["b", "i", "d", "s", "t"],
+        [
+            Column(DataType.BOOLEAN, np.arange(n) % 2 == 0, valid.copy()),
+            Column(DataType.BIGINT, np.arange(n, dtype=np.int64) * 3 - n,
+                   valid.copy()),
+            Column(DataType.DOUBLE, np.linspace(-1.5, 2.5, n), valid.copy()),
+            Column(DataType.VARCHAR,
+                   np.array([f"row-{i % 5}" for i in range(n)],
+                            dtype=object), valid.copy()),
+            Column(DataType.TIMESTAMP,
+                   np.arange(n, dtype=np.int64) * 1_000_000, None),
+        ],
+    )
+    decoded = _batch_roundtrip(result)
+    for sent, got in zip(result.columns, decoded.columns):
+        assert sent.dtype == got.dtype
+        assert sent.to_pylist() == got.to_pylist()
+
+
+def test_batch_roundtrip_float_bits_exact():
+    values = np.array([0.1, -0.0, math.inf, 5e-324, 1e308])
+    result = Result(["x"], [Column(DataType.DOUBLE, values, None)])
+    decoded = _batch_roundtrip(result)
+    assert decoded.columns[0].values.tobytes() == values.tobytes()
+
+
+def test_batch_roundtrip_empty():
+    result = Result(["x"], [Column(DataType.BIGINT,
+                                   np.array([], dtype=np.int64), None)])
+    decoded = _batch_roundtrip(result)
+    assert decoded.row_count == 0
+
+
+def test_batch_decode_rejects_column_mismatch():
+    result = Result(["x"], [Column(DataType.BIGINT,
+                                   np.arange(4, dtype=np.int64), None)])
+    payload = frames.encode_result_batch(1, result)
+    with pytest.raises(WireProtocolError, match="columns"):
+        frames.decode_result_batch(payload, ["x", "y"])
+
+
+def test_batch_decode_rejects_truncated_payload():
+    result = Result(["x"], [Column(DataType.BIGINT,
+                                   np.arange(64, dtype=np.int64), None)])
+    payload = frames.encode_result_batch(1, result)
+    with pytest.raises(WireProtocolError, match="malformed batch"):
+        frames.decode_result_batch(payload[:15], ["x"])
+
+
+def test_dtype_names_roundtrip():
+    dtypes = [DataType.BIGINT, DataType.VARCHAR, DataType.DOUBLE]
+    assert frames.dtypes_from_names(frames.dtype_names(dtypes)) == dtypes
+    with pytest.raises(WireProtocolError, match="unknown column type"):
+        frames.dtypes_from_names(["no-such-type"])
