@@ -1188,6 +1188,93 @@ def run_e16(*, smoke: bool = False, connections: int | None = None,
     return table
 
 
+# ---------------------------------------------------------------------------
+# E17 — sharded scatter-gather execution (ISSUE 10)
+# ---------------------------------------------------------------------------
+
+
+def run_e17(*, smoke: bool = False,
+            shard_counts: "tuple[int, ...] | None" = None,
+            repeats: "int | None" = None) -> ExperimentTable:
+    """Multi-process sharding vs the single-process engine.
+
+    Runs one CPU-bound decomposable aggregation — full-corpus Steim
+    decoding plus grouped MIN/MAX/SUM/COUNT — cold (all extraction
+    caches dropped) and warm, at each shard count, and verifies every
+    configuration returns the single-process result exactly (same rows,
+    same float values).  The acceptance row reports the cold-path
+    speedup at the highest shard count; the >= 2.5x gate only binds on
+    machines with >= 4 cores (``os.cpu_count()``), since worker
+    processes cannot beat the GIL without cores to run on.
+    """
+    import os
+
+    counts = tuple(shard_counts) if shard_counts else (1, 2, 4)
+    n_repeats = repeats if repeats is not None else (1 if smoke else 3)
+    root, _manifest = shared_demo_repo()
+    sql = ("SELECT F.network, COUNT(*) AS n, "
+           "MIN(D.sample_value) AS lo, MAX(D.sample_value) AS hi, "
+           "SUM(D.sample_value) AS total "
+           "FROM mseed.dataview GROUP BY F.network ORDER BY F.network")
+
+    table = ExperimentTable(
+        "E17",
+        "sharded scatter-gather execution vs single process (ISSUE 10)",
+        ["configuration", "cold", "warm", "extracted", "rows/s cold",
+         "identical"],
+    )
+
+    baseline_rows = None
+    baseline_cold = None
+    last_speedup = 1.0
+    all_identical = True
+    for n in counts:
+        wh = SeismicWarehouse(root, mode="lazy", shards=n)
+        try:
+            cold_times, warm_times = [], []
+            extracted = 0
+            result = None
+            for _ in range(n_repeats):
+                if wh.sharding is not None:
+                    wh.sharding.clear_caches()
+                if wh.cache is not None:
+                    wh.cache.clear()
+                wh.db.clear_plan_cache()
+                elapsed, (result, report, _trace) = _timed(
+                    lambda: wh.db.query_with_report(sql))
+                cold_times.append(elapsed)
+                extracted = report.rows_extracted
+                warm, _ = _timed(lambda: wh.query(sql))
+                warm_times.append(warm)
+            rows = result.rows()
+            if baseline_rows is None:
+                baseline_rows = rows
+                baseline_cold = min(cold_times)
+            identical = rows == baseline_rows
+            all_identical = all_identical and identical
+            cold = min(cold_times)
+            last_speedup = baseline_cold / cold if cold > 0 else 1.0
+            table.add_row(
+                f"shards={n}" + (" (single process)" if n == 1 else ""),
+                format_duration(cold), format_duration(min(warm_times)),
+                f"{extracted:,}",
+                f"{extracted / cold:,.0f}" if cold > 0 else "-",
+                "true" if identical else "FALSE",
+            )
+        finally:
+            wh.close()
+
+    cpu = os.cpu_count() or 1
+    table.add_row(
+        f"acceptance: {counts[-1]}-shard cold speedup / cpus / identical",
+        f"{last_speedup:.2f}", str(cpu),
+        "true" if all_identical else "FALSE", "", "")
+    table.add_note(
+        "cold = every extraction cache dropped (workers included); the "
+        "speedup gate (>= 2.5x) binds only when os.cpu_count() >= 4")
+    return table
+
+
 ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E1": run_e1,
     "E2": run_e2,
@@ -1204,6 +1291,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E13": run_e13,
     "E15": run_e15,
     "E16": run_e16,
+    "E17": run_e17,
 }
 
 # Reduced-parameter variants for CI smoke runs; experiments not listed
@@ -1217,4 +1305,5 @@ SMOKE_EXPERIMENTS: dict[str, Callable[[], ExperimentTable]] = {
     "E13": lambda: run_e13(smoke=True),
     "E15": lambda: run_e15(smoke=True),
     "E16": lambda: run_e16(smoke=True),
+    "E17": lambda: run_e17(smoke=True),
 }

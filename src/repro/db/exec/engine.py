@@ -159,6 +159,10 @@ class _CachedPlan:
     spec: ParamSpec
     bound_params: list = field(default_factory=list)
     tables: frozenset = frozenset()
+    # When a shard router wrapped ``physical`` in a scatter-gather node,
+    # the original single-process plan is preserved here so the rowpath
+    # oracle (and anything that needs an in-process plan) still has one.
+    physical_local: Optional[PhysicalNode] = None
 
 
 @dataclass
@@ -193,6 +197,12 @@ def _fold_trace_counters(report: QueryReport, trace: list[dict]) -> None:
             report.promotions += entry.get("records", 0)
             # Promoted reads are disk-backed page I/O like PDiskScan's.
             report.pages_read += entry.get("pages_read", 0)
+        elif op == "shard_partial":
+            # Work a shard worker did on the parent's behalf counts in
+            # the parent's report just as if it had run in-process.
+            report.rows_extracted_here += entry.get("rows_extracted_here", 0)
+            report.rows_coalesced += entry.get("rows_coalesced", 0)
+            report.rows_served_eager += entry.get("rows_served_eager", 0)
 
 
 def _fill_ctx_counters(report: QueryReport, ctx: ExecutionContext) -> None:
@@ -403,6 +413,11 @@ class Database:
         self.last_plan_optimized: Optional[LogicalNode] = None
         self.last_plan_physical: Optional[PhysicalNode] = None
         self.last_report = QueryReport()
+        # Sharded scatter-gather hook: when a warehouse enables sharding
+        # it installs a repro.shard.gather.ShardRouter here; every plan-
+        # cache miss is offered to it.  None (the default) leaves the
+        # compile path byte-identical to the single-process engine.
+        self.shard_router = None
 
     # -- public API -----------------------------------------------------------
 
@@ -469,7 +484,8 @@ class Database:
         started = time.perf_counter()
         with ex.active_params(values):
             columns, n_rows = rowpath.execute_rowpath(
-                entry.physical, entry.optimized.output, ctx)
+                entry.physical_local or entry.physical,
+                entry.optimized.output, ctx)
         report.execute_s = time.perf_counter() - started
         report.rows_out = n_rows
         _fill_ctx_counters(report, ctx)
@@ -604,6 +620,8 @@ class Database:
             spec=spec, bound_params=collect_bound_params(optimized),
             tables=frozenset(_plan_tables(optimized)),
         )
+        if self.shard_router is not None:
+            entry = self.shard_router.maybe_shard(self, entry)
         self._store_cache_entry(key, entry)
         return "select", entry, report
 
@@ -723,6 +741,10 @@ class Database:
             "== physical plan ==",
             explain_mod.render_physical(physical),
         ]
+        if self.shard_router is not None:
+            extra = self.shard_router.explain_section(self, stmt)
+            if extra:
+                sections.extend(["", extra])
         return "\n".join(sections)
 
     def _explain_analyze(self, stmt: ast.SelectStmt, spec: ParamSpec,

@@ -157,6 +157,31 @@ class ServiceClosedError(ServiceError):
 
 
 # ---------------------------------------------------------------------------
+# Sharded multi-process execution errors
+# ---------------------------------------------------------------------------
+
+
+class ShardError(ServiceError):
+    """Base class for sharded scatter-gather execution errors."""
+
+
+class ShardConfigError(ShardError):
+    """Invalid sharding configuration (shard count, mode, partitioner)."""
+
+
+class ShardWorkerError(ShardError):
+    """A shard worker process died or misbehaved mid-request.
+
+    Carries :attr:`shard_id` so callers can tell which shard failed;
+    the executor respawns the worker lazily on its next use.
+    """
+
+    def __init__(self, message: str, shard_id: int = -1) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+# ---------------------------------------------------------------------------
 # Wire-protocol errors (remote serving)
 # ---------------------------------------------------------------------------
 

@@ -104,6 +104,13 @@ class LazyDataBinding:
         # Concurrency hooks (see class docstring).
         self.coalescer = None
         self.extract_pool = None
+        # Sharded execution hook: when set (by SeismicWarehouse.
+        # ensure_sharding), raw extraction is routed to the shard worker
+        # that owns the file instead of decoding in this process.  Same
+        # signature/return as ``adapter.extract`` minus the repo handle;
+        # everything around it — cache admission, staleness, coalescing,
+        # tracing — still runs here, unchanged.
+        self.remote_extractor = None
         self.wait_timeout_s = 30.0
         self._refresh_lock = threading.RLock()
         # Observability hook: an ExtractionInstruments bundle (installed
@@ -387,7 +394,11 @@ class LazyDataBinding:
         flight is published, then lifts it.
         """
         started = time.perf_counter()
-        extracted = self.adapter.extract(self.repo, uri, missing, data_cols)
+        if self.remote_extractor is not None:
+            extracted = self.remote_extractor(uri, missing, data_cols)
+        else:
+            extracted = self.adapter.extract(self.repo, uri, missing,
+                                             data_cols)
         elapsed = time.perf_counter() - started
         trace.append({
             "op": "extract", "file": uri, "records": len(missing),

@@ -58,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "REPRO_AUTH_TOKENS, comma-separated)")
     parser.add_argument("--workers", type=int, default=4,
                         help="query-executing worker threads")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard worker processes for scatter-gather "
+                             "execution (1 = single-process; >1 requires "
+                             "--mode lazy)")
     parser.add_argument("--queue-depth", type=int, default=128,
                         help="bounded admission queue depth")
     parser.add_argument("--cursor-window", type=int, default=4,
@@ -98,10 +102,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("repro-serve: error: no auth tokens — pass --auth-token "
               "or set REPRO_AUTH_TOKENS", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print(f"repro-serve: error: --shards must be >= 1, got "
+              f"{args.shards}", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.mode != "lazy":
+        print(f"repro-serve: error: --shards {args.shards} requires "
+              f"--mode lazy (got --mode {args.mode})", file=sys.stderr)
+        return 2
 
     warehouse = _build_warehouse(args)
     service = warehouse.serve(
         max_workers=args.workers,
+        shards=args.shards,
         queue_depth=args.queue_depth,
         tcp_port=args.tcp_port,
         tcp_host=args.host,

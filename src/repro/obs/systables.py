@@ -16,7 +16,7 @@ Two registration entry points:
 * :func:`install_warehouse_system_tables` — subsystem tables wired by
   :class:`~repro.seismology.warehouse.SeismicWarehouse`
   (``sys.metrics``, ``sys.extraction_cache``, ``sys.bufferpool``,
-  ``sys.heat``, ``sys.promoted``, ``sys.segments``).
+  ``sys.heat``, ``sys.promoted``, ``sys.segments``, ``sys.shards``).
 """
 
 from __future__ import annotations
@@ -87,6 +87,12 @@ CONNECTIONS_COLUMNS: list[tuple[str, DataType]] = [
     ("idle_s", D), ("connected_at", D),
 ]
 
+SHARDS_COLUMNS: list[tuple[str, DataType]] = [
+    ("shard_id", B), ("pid", B), ("alive", BOOL), ("files", B),
+    ("queries", B), ("extracts", B), ("rows_extracted", B),
+    ("errors", B), ("restarts", B),
+]
+
 SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, DataType]]] = {
     "queries": QUERIES_COLUMNS,
     "sessions": SESSIONS_COLUMNS,
@@ -97,6 +103,7 @@ SYSTEM_TABLE_COLUMNS: dict[str, list[tuple[str, DataType]]] = {
     "promoted": PROMOTED_COLUMNS,
     "segments": SEGMENTS_COLUMNS,
     "connections": CONNECTIONS_COLUMNS,
+    "shards": SHARDS_COLUMNS,
 }
 """Schema reference for every ``sys.*`` table (README + HTTP docs)."""
 
@@ -224,6 +231,11 @@ def install_warehouse_system_tables(warehouse) -> None:
         rows = [] if store is None else store.segments_snapshot()
         return rows_to_columns(rows, SEGMENTS_COLUMNS)
 
+    def shards() -> dict:
+        executor = getattr(warehouse, "sharding", None)
+        rows = [] if executor is None else executor.describe()
+        return rows_to_columns(rows, SHARDS_COLUMNS)
+
     catalog = warehouse.db.catalog
     _register(catalog, "metrics", METRICS_COLUMNS, metrics)
     _register(catalog, "extraction_cache", EXTRACTION_CACHE_COLUMNS,
@@ -232,6 +244,7 @@ def install_warehouse_system_tables(warehouse) -> None:
     _register(catalog, "heat", HEAT_COLUMNS, heat)
     _register(catalog, "promoted", PROMOTED_COLUMNS, promoted)
     _register(catalog, "segments", SEGMENTS_COLUMNS, segments)
+    _register(catalog, "shards", SHARDS_COLUMNS, shards)
 
 
 # -- wire-server table -------------------------------------------------------

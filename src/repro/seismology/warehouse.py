@@ -8,13 +8,14 @@ Figure-1 queries verbatim) runs in every mode.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from typing import Literal, Optional
 
 from repro.db.exec.engine import Database
 from repro.db.exec.result import Result
-from repro.errors import ETLError
+from repro.errors import ETLError, ShardConfigError
 from repro.etl.eager import EagerETL
 from repro.etl.external import ExternalTableETL
 from repro.etl.framework import ETLReport, SourceAdapter
@@ -29,6 +30,8 @@ from repro.seismology import schema as schema_mod
 from repro.util.oplog import OperationLog
 
 Mode = Literal["lazy", "eager", "external"]
+
+logger = logging.getLogger("repro.warehouse")
 
 
 class SeismicWarehouse:
@@ -52,14 +55,38 @@ class SeismicWarehouse:
         storage_path: "str | os.PathLike | None" = None,
         bufferpool_bytes: int = 64 * 1024 * 1024,
         trace_spans: bool = False,
+        shards: int = 1,
+        shard_by: str = "hash",
     ) -> None:
         if mode not in ("lazy", "eager", "external"):
             raise ETLError(f"unknown warehouse mode {mode!r}")
+        if not isinstance(shards, int) or isinstance(shards, bool) \
+                or shards < 1:
+            raise ShardConfigError(
+                f"shards must be a positive integer, got {shards!r}")
+        if shard_by not in ("hash", "range"):
+            raise ShardConfigError(
+                f"shard_by must be 'hash' or 'range', got {shard_by!r}")
+        if shards > 1 and mode != "lazy":
+            raise ShardConfigError(
+                f"sharded execution requires mode='lazy' (workers run "
+                f"lazy shard warehouses); got mode={mode!r}")
+        if shards > 1 and adapter is not None:
+            raise ShardConfigError(
+                "sharded execution supports the built-in mSEED adapter "
+                "only: a custom adapter cannot be reconstructed inside "
+                "spawned shard workers")
         self.mode: Mode = mode
         self.schema = schema
         self.repo = (repository if isinstance(repository, Repository)
                      else Repository(repository))
         self.adapter = adapter or MSeedAdapter()
+        self.shards = shards
+        self.shard_by = shard_by
+        self._cache_budget_bytes = cache_budget_bytes
+        self._sharding = None
+        self._shard_router = None
+        self._shard_extract_pool = None
         self.oplog = OperationLog()
         # One registry per warehouse: every layer (storage, ETL, engine,
         # service) reports into it; scraped via metrics()/metrics_text().
@@ -118,6 +145,8 @@ class SeismicWarehouse:
                 self.load()
         self._attach_promoted()
         self._wire_observability()
+        if self.shards > 1 and not defer_load:
+            self.ensure_sharding()
 
     def _can_warm_start(self) -> bool:
         if self.store is None or self.mode != "lazy":
@@ -136,6 +165,8 @@ class SeismicWarehouse:
         self.load_report = report
         self._attach_promoted()
         self._wire_observability()
+        if self.shards > 1:
+            self.ensure_sharding()
         return report
 
     def _attach_promoted(self) -> None:
@@ -219,7 +250,132 @@ class SeismicWarehouse:
         if promoted is not None:
             out["repro_promoted_units"] = len(promoted)
             out["repro_promoted_disk_bytes"] = promoted.disk_bytes()
+        sharding = self._sharding
+        if sharding is not None:
+            rows = sharding.describe()
+            out["repro_shard_workers"] = len(rows)
+            out["repro_shard_workers_alive"] = sum(
+                1 for row in rows if row["alive"])
+            out["repro_shard_queries_total"] = sum(
+                row["queries"] for row in rows)
+            out["repro_shard_extracts_total"] = sum(
+                row["extracts"] for row in rows)
+            out["repro_shard_rows_extracted_total"] = sum(
+                row["rows_extracted"] for row in rows)
+            out["repro_shard_errors_total"] = sum(
+                row["errors"] for row in rows)
+            out["repro_shard_restarts_total"] = sum(
+                row["restarts"] for row in rows)
+            router = self._shard_router
+            if router is not None:
+                out["repro_shard_plans_decomposed_total"] = router.decomposed
+                out["repro_shard_plans_fallback_total"] = router.fallbacks
         return out
+
+    # -- sharded execution --------------------------------------------------------
+
+    @property
+    def sharding(self):
+        """The live :class:`~repro.shard.executor.ShardedExtractor`, or
+        ``None`` while running single-process."""
+        return self._sharding
+
+    def ensure_sharding(self, shards: "int | None" = None,
+                        shard_by: "str | None" = None) -> bool:
+        """Bring up the shard worker pool and install the execution
+        hooks.  Returns True if this call created the pool (False when
+        sharding is already up or ``shards`` resolves to 1).
+        """
+        if shards is not None:
+            if not isinstance(shards, int) or isinstance(shards, bool) \
+                    or shards < 1:
+                raise ShardConfigError(
+                    f"shards must be a positive integer, got {shards!r}")
+            self.shards = shards
+        if shard_by is not None:
+            if shard_by not in ("hash", "range"):
+                raise ShardConfigError(
+                    f"shard_by must be 'hash' or 'range', got {shard_by!r}")
+            self.shard_by = shard_by
+        if self.shards <= 1 or self._sharding is not None:
+            return False
+        if self.mode != "lazy":
+            raise ShardConfigError(
+                f"sharded execution requires mode='lazy'; got "
+                f"mode={self.mode!r}")
+        binding = self.pipeline.binding
+        if binding is None:
+            raise ShardConfigError(
+                "sharded execution requires a loaded warehouse: call "
+                "load() first (defer_load=True skipped it)")
+        from repro.service.parallel import ParallelExtractor
+        from repro.shard.executor import ShardedExtractor
+        from repro.shard.gather import ShardRouter
+        from repro.shard.partition import ShardMap
+
+        uris = [info.uri for info in self.repo.list_files()]
+        if self.shards > len(uris):
+            logger.warning(
+                "shards=%d exceeds the repository's %d files; "
+                "%d worker(s) will own no files",
+                self.shards, len(uris), self.shards - len(uris))
+        shard_map = ShardMap.build(uris, self.shards, by=self.shard_by)
+        executor = ShardedExtractor(
+            str(self.repo.root), shard_map,
+            schema=self.schema,
+            granularity=self.pipeline.granularity,
+            extension=self.repo.extension,
+            cache_budget_bytes=self._cache_budget_bytes,
+        )
+        executor.start()
+        router = ShardRouter(
+            executor,
+            lazy_table=self.pipeline.data_table,
+            allowed_tables=frozenset({
+                self.pipeline.data_table,
+                self.pipeline.files_table,
+                self.pipeline.records_table,
+            }),
+        )
+        self._sharding = executor
+        self._shard_router = router
+        self.db.shard_router = router
+        binding.remote_extractor = executor.extract
+        if binding.extract_pool is None:
+            # Scattered extraction for non-decomposable queries: without
+            # a pool, per-file remote extracts would serialize even
+            # though each runs on a different worker process.
+            self._shard_extract_pool = ParallelExtractor(
+                max_workers=self.shards)
+            binding.extract_pool = self._shard_extract_pool
+        # Plans compiled before sharding came up never met the router.
+        self.db.clear_plan_cache()
+        return True
+
+    def shutdown_sharding(self) -> None:
+        """Drain and join the shard pool, uninstall every hook.
+
+        Idempotent; runs *before* any storage teardown in :meth:`close`
+        so in-flight worker replies never race closed handles.
+        """
+        executor, self._sharding = self._sharding, None
+        self._shard_router = None
+        if executor is None:
+            return
+        if self.db.shard_router is not None:
+            self.db.shard_router = None
+        binding = getattr(self.pipeline, "binding", None)
+        if binding is not None:
+            binding.remote_extractor = None
+            if self._shard_extract_pool is not None \
+                    and binding.extract_pool is self._shard_extract_pool:
+                binding.extract_pool = None
+        if self._shard_extract_pool is not None:
+            self._shard_extract_pool.close()
+            self._shard_extract_pool = None
+        executor.close()
+        # Cached PShardGather plans hold dead worker handles.
+        self.db.clear_plan_cache()
 
     def checkpoint(self, storage_path: "str | os.PathLike | None" = None
                    ) -> int:
@@ -261,7 +417,12 @@ class SeismicWarehouse:
         warehouse object is not usable for queries afterwards only to
         the extent that its storage handles are gone; in-memory tables
         still answer.
+
+        Teardown order matters: the shard worker pool drains first (its
+        replies may still reference caches and promoted readers), then
+        observability hooks, then storage handles.
         """
+        self.shutdown_sharding()
         if self._metrics_collector is not None:
             self.metrics_registry.unregister_collector(
                 self._metrics_collector)

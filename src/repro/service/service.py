@@ -58,6 +58,9 @@ class ServiceConfig:
     coalesce: bool = True         # single-flight extraction sharing
     extract_workers: int = 0      # 0 disables the per-file fan-out pool
     wait_timeout_s: float = 30.0  # coalesced-wait patience before fallback
+    # Sharded scatter-gather execution: >1 brings up (or reuses) the
+    # warehouse's shard worker-process pool for the service's lifetime.
+    shards: int = 1
     # Adaptive lazy→eager promotion (requires warehouse storage_path):
     promote: bool = False         # own a BackgroundPromoter thread
     promote_interval_s: float = 1.0
@@ -103,6 +106,10 @@ class ServiceConfig:
                 raise ServiceError("promote_budget_bytes must be positive")
             if self.promote_max_units <= 0:
                 raise ServiceError("promote_max_units must be positive")
+        if not isinstance(self.shards, int) or isinstance(self.shards, bool) \
+                or self.shards < 1:
+            raise ServiceError(
+                f"shards must be a positive integer, got {self.shards!r}")
         if self.slow_query_s is not None and self.slow_query_s <= 0:
             raise ServiceError("slow_query_s must be positive (or None "
                                "to disable the slow-query log)")
@@ -327,6 +334,13 @@ class WarehouseService:
         """Install concurrency hooks on the warehouse and spawn workers."""
         if self._started:
             return
+        self._owns_sharding = False
+        if self.config.shards > 1:
+            # Before any binding hooks: ensure_sharding installs its own
+            # (remote_extractor, extract_pool) and must see the
+            # warehouse's pristine state.
+            self._owns_sharding = self.warehouse.ensure_sharding(
+                self.config.shards)
         binding = getattr(self.warehouse.pipeline, "binding", None)
         if binding is not None:
             if self.config.coalesce:
@@ -442,6 +456,12 @@ class WarehouseService:
                 binding.extract_pool = None
         if self.extract_pool is not None:
             self.extract_pool.close()
+        if getattr(self, "_owns_sharding", False):
+            # This service brought the shard pool up, so it drains and
+            # joins the workers now that no query thread can scatter to
+            # them — and before any caller proceeds to storage teardown.
+            self.warehouse.shutdown_sharding()
+            self._owns_sharding = False
         if self._service_collector is not None:
             self.metrics.unregister_collector(self._service_collector)
             self._service_collector = None

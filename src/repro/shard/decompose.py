@@ -1,0 +1,228 @@
+"""Splitting one SELECT into per-shard partials plus a combine query.
+
+The scatter-gather algebra: a statement decomposes when every aggregate
+it computes has an exact partial form —
+
+========  =================================  =======================
+aggregate  per-shard partial                  parent combine
+========  =================================  =======================
+COUNT      ``COUNT(x) AS __aj``               ``SUM(__aj)``
+MIN/MAX    ``MIN(x) AS __aj``                 ``MIN(__aj)``
+SUM(int)   ``SUM(x) AS __aj``                 ``SUM(__aj)``
+AVG(int)   ``SUM(x) AS __aj_s, COUNT(x)       ``SUM(__aj_s) /
+           AS __aj_c``                        SUM(__aj_c)``
+========  =================================  =======================
+
+SUM and AVG decompose only over integer inputs: float64 integer
+arithmetic is exact below 2**53, so re-summing per-shard sums is
+associative and reproduces the single-process result bit for bit.
+Floating-point inputs (and STDDEV/MEDIAN/DISTINCT aggregates) do not
+decompose — those statements fall back to the single-plan path, where
+only *extraction* is scattered across shards, which is bit-exact by
+construction.
+
+Group-by keys become gather columns ``__g0..`` computed per shard;
+the combine query re-groups on them.  The engine's aggregate kernel
+orders groups by sorted key values (not input order), so re-grouping
+gathered partials reproduces the exact single-process row order no
+matter which shard delivered first.
+
+Everything is validated by *binding the generated SQL*: the partial
+against the parent's own catalog (shard catalogs are schema-identical),
+the combine against a scratch catalog holding the gather table.  Any
+surprise — a SUM that binds DOUBLE, a combine output dtype differing
+from the original plan's — rejects the decomposition instead of
+risking a wrong answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db import expr as ex
+from repro.db.sql import ast
+from repro.db.sql.parser import parse_prepared
+from repro.db.types import DataType
+from repro.shard.sqlgen import RenderError, render_expr, render_table
+
+# Aggregates with an exact partial form (see module docstring).
+_DECOMPOSABLE_AGGS = {"count", "min", "max", "sum", "avg"}
+# Partial SUM columns must bind to exact integer addition.
+_EXACT_SUM_TYPES = {DataType.BIGINT}
+
+GATHER_TABLE = ("shard_gather", "partials")
+
+
+@dataclass
+class ShardPlan:
+    """One decomposed SELECT: scatter SQL, gather schema, combine SQL."""
+
+    partial_sql: str
+    combine_sql: str
+    # (name, dtype) of every gather-table column, in partial-output order.
+    gather_columns: "list[tuple[str, DataType]]" = field(default_factory=list)
+    # Parameter names each generated statement actually uses (the
+    # engine's named-parameter binding rejects extras).
+    partial_param_names: "tuple[str, ...]" = ()
+    combine_param_names: "tuple[str, ...]" = ()
+    # (partial column, aggregate kind) for every partial aggregate.
+    partial_agg_columns: "list[tuple[str, str]]" = field(default_factory=list)
+
+
+class _NotDecomposable(Exception):
+    """Internal control flow: fall back to the single-plan path."""
+
+
+def _walk(expr: ex.Expr):
+    yield expr
+    for child in expr.children():
+        yield from _walk(child)
+
+
+def _all_exprs(stmt: ast.SelectStmt):
+    for item in stmt.items:
+        yield item.expr
+    if stmt.having is not None:
+        yield stmt.having
+    for order in stmt.order_by:
+        yield order.expr
+
+
+def _collect_aggs(stmt: ast.SelectStmt) -> "list[tuple[str, ex.AggCall]]":
+    """Unique aggregate calls (by rendered text), in first-seen order."""
+    seen: dict[str, ex.AggCall] = {}
+    for expr in _all_exprs(stmt):
+        for node in _walk(expr):
+            if isinstance(node, ex.AggCall):
+                seen.setdefault(render_expr(node), node)
+    return list(seen.items())
+
+
+def decompose_select(stmt: ast.SelectStmt) -> "ShardPlan | None":
+    """Build the scatter-gather plan for ``stmt``, or None if it has no
+    exact decomposition.  Callers must still validate by binding."""
+    try:
+        return _decompose(stmt)
+    except (_NotDecomposable, RenderError):
+        return None
+
+
+def _decompose(stmt: ast.SelectStmt) -> "ShardPlan | None":
+    if len(stmt.from_items) != 1 or \
+            not isinstance(stmt.from_items[0], ast.TableRef):
+        return None
+    aggs = _collect_aggs(stmt)
+    if not aggs and not stmt.group_by:
+        # Plain row-returning SELECT: shards cannot pre-reduce anything
+        # and row order is the executor's to define — run the single
+        # plan with scattered extraction instead.
+        return None
+    for _text, agg in aggs:
+        if agg.distinct or agg.name.lower() not in _DECOMPOSABLE_AGGS:
+            return None
+        if isinstance(agg.arg, ex.Star):
+            return None
+
+    # Group keys, deduplicated by rendered text.
+    group_texts: list[str] = []
+    group_exprs: list[ex.Expr] = []
+    for expr in stmt.group_by:
+        text = render_expr(expr)
+        if text not in group_texts:
+            group_texts.append(text)
+            group_exprs.append(expr)
+
+    # Partial SELECT items + the substitution map for the combine side.
+    partial_items: list[str] = []
+    subst: dict[str, str] = {}
+    partial_agg_columns: "list[tuple[str, str]]" = []  # (column, kind)
+    for index, text in enumerate(group_texts):
+        partial_items.append(f"{text} AS __g{index}")
+        subst[text] = f"__g{index}"
+    for index, (text, agg) in enumerate(aggs):
+        kind = agg.name.lower()
+        arg = "*" if agg.arg is None else render_expr(agg.arg)
+        if kind == "avg":
+            partial_items.append(f"SUM({arg}) AS __a{index}_s")
+            partial_items.append(f"COUNT({arg}) AS __a{index}_c")
+            subst[text] = (f"(SUM(__a{index}_s) / SUM(__a{index}_c))")
+            partial_agg_columns.append((f"__a{index}_s", "sum"))
+            partial_agg_columns.append((f"__a{index}_c", "count"))
+        elif kind == "count":
+            partial_items.append(f"COUNT({arg}) AS __a{index}")
+            subst[text] = f"SUM(__a{index})"
+            partial_agg_columns.append((f"__a{index}", "count"))
+        else:  # min / max / sum keep their own operator in the combine
+            partial_items.append(f"{kind.upper()}({arg}) AS __a{index}")
+            subst[text] = f"{kind.upper()}(__a{index})"
+            partial_agg_columns.append((f"__a{index}", kind))
+
+    partial_sql = (f"SELECT {', '.join(partial_items)} "
+                   f"FROM {render_table(stmt.from_items[0])}")
+    if stmt.where is not None:
+        partial_sql += f" WHERE {render_expr(stmt.where)}"
+    if group_texts:
+        partial_sql += f" GROUP BY {', '.join(group_texts)}"
+
+    # Combine rendering: aggregate calls and group-key expressions
+    # become gather-column fragments; any column reference that survives
+    # substitution would read a raw row the gather table does not have.
+    item_aliases = {item.alias.lower() for item in stmt.items
+                    if item.alias is not None}
+
+    def make_transform(aliases_ok: "set[str]"):
+        def transform(node: ex.Expr) -> "str | None":
+            replacement = subst.get(render_expr(node))
+            if replacement is not None:
+                return replacement
+            if isinstance(node, ex.AggCall):
+                raise _NotDecomposable  # agg missed by collection
+            if isinstance(node, ex.ColumnRef):
+                if len(node.parts) == 1 and \
+                        node.parts[0].lower() in aliases_ok:
+                    return node.parts[0]
+                raise _NotDecomposable  # raw column outside any group key
+            return None
+        return transform
+
+    combine_items = []
+    for index, item in enumerate(stmt.items):
+        rendered = render_expr(item.expr, make_transform(set()))
+        alias = item.alias if item.alias else f"__c{index}"
+        combine_items.append(f"{rendered} AS {alias}")
+    distinct = "DISTINCT " if stmt.distinct else ""
+    combine_sql = (f"SELECT {distinct}{', '.join(combine_items)} "
+                   f"FROM {'.'.join(GATHER_TABLE)}")
+    if group_texts:
+        keys = ", ".join(f"__g{i}" for i in range(len(group_texts)))
+        combine_sql += f" GROUP BY {keys}"
+    if stmt.having is not None:
+        combine_sql += \
+            f" HAVING {render_expr(stmt.having, make_transform(set()))}"
+    if stmt.order_by:
+        orders = []
+        for order in stmt.order_by:
+            rendered = render_expr(order.expr,
+                                   make_transform(item_aliases))
+            orders.append(rendered + ("" if order.ascending else " DESC"))
+        combine_sql += f" ORDER BY {', '.join(orders)}"
+    if stmt.limit is not None:
+        combine_sql += f" LIMIT {stmt.limit}"
+    if stmt.offset is not None:
+        combine_sql += f" OFFSET {stmt.offset}"
+
+    _partial_stmt, partial_spec = parse_prepared(partial_sql)
+    _combine_stmt, combine_spec = parse_prepared(combine_sql)
+    return ShardPlan(
+        partial_sql=partial_sql,
+        combine_sql=combine_sql,
+        partial_param_names=partial_spec.names,
+        combine_param_names=combine_spec.names,
+        partial_agg_columns=partial_agg_columns,
+    )
+
+
+def exact_sum_columns(plan: ShardPlan) -> "list[str]":
+    """Partial columns whose bound dtype must be an exact-integer SUM."""
+    return [name for name, kind in plan.partial_agg_columns
+            if kind == "sum"]

@@ -1,0 +1,112 @@
+"""Rendering unbound expression ASTs back to SQL text.
+
+The plan decomposer (:mod:`repro.shard.decompose`) works on the parsed
+statement, not the bound plan: per-shard partial queries and the
+parent-side combine query are generated as SQL *text* and re-parsed —
+by the workers against their shard catalogs, by the parent against a
+scratch gather catalog.  Round-tripping through text keeps the seam
+honest: whatever the decomposer emits must mean the same thing to a
+stock parser/binder, so there is no second, subtly different plan IR.
+
+``render_expr`` takes an optional ``transform`` hook, called on every
+node before default rendering: returning a string replaces that whole
+subtree.  The decomposer uses it to swap aggregate calls for combine
+fragments and group-by expressions for gather-column references.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.db import expr as ex
+from repro.db.sql import ast
+from repro.errors import ShardError
+
+
+class RenderError(ShardError):
+    """The expression contains a node SQL rendering does not cover.
+
+    Internal to the decomposer: callers treat it as "this statement does
+    not decompose" and fall back to the single-plan path.
+    """
+
+
+Transform = Optional[Callable[[ex.Expr], Optional[str]]]
+
+
+def render_literal(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    if isinstance(value, float):
+        return repr(value)  # round-trips the exact double
+    if isinstance(value, int):
+        return repr(value)
+    raise RenderError(f"cannot render literal {value!r}")
+
+
+def render_expr(expr: ex.Expr, transform: Transform = None) -> str:
+    if transform is not None:
+        replaced = transform(expr)
+        if replaced is not None:
+            return replaced
+
+    def sub(child: ex.Expr) -> str:
+        return render_expr(child, transform)
+
+    if isinstance(expr, ex.ColumnRef):
+        return ".".join(expr.parts)
+    if isinstance(expr, ex.Literal):
+        return render_literal(expr.value)
+    if isinstance(expr, ex.Param):
+        return f":s{expr.slot}"
+    if isinstance(expr, ex.BinOp):
+        return f"({sub(expr.left)} {expr.op.upper()} {sub(expr.right)})"
+    if isinstance(expr, ex.UnOp):
+        if expr.op == "not":
+            return f"(NOT {sub(expr.operand)})"
+        return f"({expr.op}{sub(expr.operand)})"
+    if isinstance(expr, ex.AggCall):
+        inner = "*" if expr.arg is None else sub(expr.arg)
+        prefix = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name.upper()}({prefix}{inner})"
+    if isinstance(expr, ex.FuncCall):
+        args = ", ".join(sub(a) for a in expr.args)
+        return f"{expr.name.upper()}({args})"
+    if isinstance(expr, ex.Between):
+        word = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (f"({sub(expr.operand)} {word} {sub(expr.low)} "
+                f"AND {sub(expr.high)})")
+    if isinstance(expr, ex.InList):
+        word = "NOT IN" if expr.negated else "IN"
+        items = ", ".join(sub(item) for item in expr.items)
+        return f"({sub(expr.operand)} {word} ({items}))"
+    if isinstance(expr, ex.IsNull):
+        word = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({sub(expr.operand)} {word})"
+    if isinstance(expr, ex.Like):
+        word = "NOT LIKE" if expr.negated else "LIKE"
+        return (f"({sub(expr.operand)} {word} "
+                f"{render_literal(expr.pattern)})")
+    if isinstance(expr, ex.Case):
+        parts = ["CASE"]
+        for when, then in expr.whens:
+            parts.append(f"WHEN {sub(when)} THEN {sub(then)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {sub(expr.default)}")
+        parts.append("END")
+        return "(" + " ".join(parts) + ")"
+    if isinstance(expr, ex.Cast):
+        return f"CAST({sub(expr.operand)} AS {expr.target.value.upper()})"
+    raise RenderError(f"cannot render {type(expr).__name__} to SQL")
+
+
+def render_table(ref: ast.TableExpr) -> str:
+    if not isinstance(ref, ast.TableRef):
+        raise RenderError(
+            f"cannot render {type(ref).__name__} FROM item to SQL")
+    name = ".".join(ref.parts)
+    return f"{name} AS {ref.alias}" if ref.alias else name

@@ -1,0 +1,179 @@
+"""Bulk-data transport between shard workers and the parent process.
+
+Extracted column batches and query results never travel as pickles:
+arrays are encoded with the same best-of codec machinery the storage
+engine uses for segment pages (:mod:`repro.storage.codecs`) and the
+encoded bytes move through ``multiprocessing.shared_memory`` blocks.
+Small payloads (below :data:`INLINE_LIMIT`) ride inline on the control
+pipe — a shared-memory segment per tiny reply would cost more in
+syscalls than it saves in copies.
+
+The worker owns its shared-memory blocks until the parent confirms it
+has read them (a ``release`` command), so a block can never be unlinked
+while the parent still maps it.
+
+Wire shapes
+-----------
+
+* an **array block**: ``[u8 name_len][name][u8 np_descr_len][np_descr]
+  [u8 dtype_code][u8 codec_id][u32 count][u32 nbytes][payload]`` —
+  ``np_descr`` restores the exact numpy dtype after the codec round-trip
+  widens integers to int64.
+* **extraction pieces** (one file's worth): ``[u32 n_pieces]`` then per
+  piece ``[u64 seq_no][u16 n_arrays]`` + that many array blocks.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.db.types import DataType
+from repro.errors import ShardError
+from repro.storage.codecs import decode_array, encode_array
+
+INLINE_LIMIT = 64 * 1024
+
+_DTYPE_CODES = {
+    DataType.BOOLEAN: 0,
+    DataType.BIGINT: 1,
+    DataType.DOUBLE: 2,
+    DataType.VARCHAR: 3,
+    DataType.TIMESTAMP: 4,
+}
+_CODE_DTYPES = {code: dtype for dtype, code in _DTYPE_CODES.items()}
+
+
+def _codec_type_for(array: np.ndarray) -> DataType:
+    """The storage DataType whose codecs can carry this numpy array."""
+    kind = array.dtype.kind
+    if kind in "iu":
+        return DataType.BIGINT
+    if kind == "f":
+        return DataType.DOUBLE
+    if kind == "b":
+        return DataType.BOOLEAN
+    if kind in "OU":
+        return DataType.VARCHAR
+    raise ShardError(f"cannot ship array of dtype {array.dtype}")
+
+
+def encode_named_array(name: str, array: np.ndarray) -> bytes:
+    dtype = _codec_type_for(array)
+    descr = "object" if array.dtype.kind in "OU" else array.dtype.str
+    if array.dtype.kind == "U":
+        array = array.astype(object)
+    elif array.dtype.kind in "iu" and array.dtype != np.int64:
+        array = array.astype(np.int64)
+    elif array.dtype.kind == "f" and array.dtype != np.float64:
+        array = array.astype(np.float64)
+    codec_id, payload = encode_array(dtype, np.ascontiguousarray(array))
+    name_b = name.encode("utf-8")
+    descr_b = descr.encode("ascii")
+    header = struct.pack(
+        "<B%dsB%dsBBII" % (len(name_b), len(descr_b)),
+        len(name_b), name_b, len(descr_b), descr_b,
+        _DTYPE_CODES[dtype], codec_id, len(array), len(payload))
+    return header + payload
+
+
+def decode_named_array(buffer: memoryview, offset: int
+                       ) -> tuple[str, np.ndarray, int]:
+    name_len = buffer[offset]
+    offset += 1
+    name = bytes(buffer[offset:offset + name_len]).decode("utf-8")
+    offset += name_len
+    descr_len = buffer[offset]
+    offset += 1
+    descr = bytes(buffer[offset:offset + descr_len]).decode("ascii")
+    offset += descr_len
+    dtype_code, codec_id, count, nbytes = struct.unpack_from(
+        "<BBII", buffer, offset)
+    offset += struct.calcsize("<BBII")
+    payload = bytes(buffer[offset:offset + nbytes])
+    offset += nbytes
+    array = decode_array(_CODE_DTYPES[dtype_code], codec_id, payload, count)
+    if descr != "object":
+        wanted = np.dtype(descr)
+        if array.dtype != wanted:
+            array = array.astype(wanted)
+    return name, array, offset
+
+
+def encode_pieces(pieces: "list[tuple[int, dict[str, np.ndarray]]]") -> bytes:
+    """Encode one file's extraction pieces: ``[(seq_no, {col: array})]``."""
+    chunks = [struct.pack("<I", len(pieces))]
+    for seq_no, arrays in pieces:
+        chunks.append(struct.pack("<QH", seq_no, len(arrays)))
+        for name in sorted(arrays):
+            chunks.append(encode_named_array(name, arrays[name]))
+    return b"".join(chunks)
+
+
+def decode_pieces(data: bytes) -> "list[tuple[int, dict[str, np.ndarray]]]":
+    buffer = memoryview(data)
+    (n_pieces,) = struct.unpack_from("<I", buffer, 0)
+    offset = struct.calcsize("<I")
+    pieces = []
+    for _ in range(n_pieces):
+        seq_no, n_arrays = struct.unpack_from("<QH", buffer, offset)
+        offset += struct.calcsize("<QH")
+        arrays: dict[str, np.ndarray] = {}
+        for _ in range(n_arrays):
+            name, array, offset = decode_named_array(buffer, offset)
+            arrays[name] = array
+        pieces.append((seq_no, arrays))
+    return pieces
+
+
+class BlobShipper:
+    """Worker-side outbox of shared-memory blocks awaiting release.
+
+    ``ship()`` turns an encoded byte string into a pipe-safe descriptor:
+    small payloads inline, larger ones into a fresh shared-memory block
+    whose name the parent echoes back in a ``release`` command once
+    read.  Keeping the handle open here (not just unlinking) is what
+    guarantees the block outlives the parent's attach.
+    """
+
+    def __init__(self, inline_limit: int = INLINE_LIMIT) -> None:
+        self.inline_limit = inline_limit
+        self._pending: dict[str, shared_memory.SharedMemory] = {}
+        self.shipped_blocks = 0
+        self.shipped_bytes = 0
+
+    def ship(self, data: bytes) -> dict:
+        self.shipped_bytes += len(data)
+        if len(data) <= self.inline_limit:
+            return {"kind": "inline", "data": data}
+        block = shared_memory.SharedMemory(create=True, size=len(data))
+        block.buf[:len(data)] = data
+        self._pending[block.name] = block
+        self.shipped_blocks += 1
+        return {"kind": "shm", "name": block.name, "size": len(data)}
+
+    def release(self, names: "list[str]") -> int:
+        freed = 0
+        for name in names:
+            block = self._pending.pop(name, None)
+            if block is not None:
+                block.close()
+                block.unlink()
+                freed += 1
+        return freed
+
+    def close(self) -> None:
+        self.release(list(self._pending))
+
+
+def open_blob(descriptor: dict) -> bytes:
+    """Parent-side: materialise a shipped blob into local bytes."""
+    if descriptor["kind"] == "inline":
+        return descriptor["data"]
+    block = shared_memory.SharedMemory(name=descriptor["name"])
+    try:
+        return bytes(block.buf[:descriptor["size"]])
+    finally:
+        block.close()
